@@ -1,0 +1,40 @@
+"""Benchmark harness support.
+
+Every benchmark regenerates one of the paper's figures as text tables
+and writes them under ``benchmarks/results/`` (also echoed to stdout,
+visible with ``pytest -s``). Scale knobs come from environment
+variables so a full-fidelity run is one command away:
+
+    REPRO_WEEKS=120 REPRO_FLOWS=16 pytest benchmarks/ --benchmark-only
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+# Scaled-down defaults: tens of weeks instead of the paper's thousands.
+WEEKS = int(os.environ.get("REPRO_WEEKS", "24"))
+WARMUP = int(os.environ.get("REPRO_WARMUP", "8"))
+FLOWS = int(os.environ.get("REPRO_FLOWS", "8"))
+SEED = int(os.environ.get("REPRO_SEED", "1"))
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return {"weeks": WEEKS, "warmup_weeks": WARMUP, "n_flows": FLOWS, "seed": SEED}
+
+
+def emit(results_dir, name: str, text: str) -> None:
+    """Print a figure's tables and persist them."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

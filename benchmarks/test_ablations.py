@@ -1,0 +1,129 @@
+"""Ablations of the reproduction's design choices (DESIGN.md §5).
+
+Not figures from the paper, but sensitivity studies that justify how
+the reproduction is configured:
+
+* TDTCP switch pacing on/off (§5.2's "sender pacing" remark);
+* the ToR night-announcement policy (slowdown / always / none);
+* reTCP's ramp factor alpha.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments.variants import TDTCPVariant
+from repro.rdcn.config import NotifierConfig, RDCNConfig
+from repro.tcp.sockets import create_connection_pair
+from repro.core.tdtcp import TDTCPConnection
+
+from benchmarks.conftest import emit
+
+WEEKS = 24
+WARMUP = 8
+
+
+def run(variant, rdcn=None, **kwargs):
+    cfg = ExperimentConfig(
+        variant=variant,
+        rdcn=rdcn if rdcn is not None else RDCNConfig(),
+        n_flows=8,
+        weeks=WEEKS,
+        warmup_weeks=WARMUP,
+        **kwargs,
+    )
+    return run_experiment(cfg)
+
+
+class PacingAblationVariant(TDTCPVariant):
+    """TDTCP with switch pacing disabled."""
+
+    def __init__(self):
+        super().__init__(name="tdtcp")  # reuse the registered name
+
+    def make_flow(self, testbed, src, dst, index, exp_config, context):
+        return create_connection_pair(
+            testbed.sim, src, dst,
+            cc_name="cubic", config=exp_config.tcp,
+            connection_cls=TDTCPConnection,
+            tdn_count=testbed.config.n_tdns,
+            switch_pacing=False,
+        )
+
+
+def test_ablation_switch_pacing(benchmark, results_dir):
+    """Pacing the post-switch burst must not hurt; it reduces the
+    transition drops the paper's §5.2 remark is about."""
+
+    def both():
+        paced = run("tdtcp")
+        # Monkey-run the unpaced variant through a copy of the spec.
+        from repro.experiments import variants as vmod
+
+        original = vmod.VARIANTS["tdtcp"]
+        vmod.VARIANTS["tdtcp"] = PacingAblationVariant()
+        try:
+            unpaced = run("tdtcp")
+        finally:
+            vmod.VARIANTS["tdtcp"] = original
+        return paced, unpaced
+
+    paced, unpaced = benchmark.pedantic(both, rounds=1, iterations=1)
+    text = (
+        "TDTCP switch pacing ablation:\n"
+        f"  paced:   {paced.steady_state_throughput_gbps():6.2f} Gbps, "
+        f"{paced.retransmissions} retx\n"
+        f"  unpaced: {unpaced.steady_state_throughput_gbps():6.2f} Gbps, "
+        f"{unpaced.retransmissions} retx"
+    )
+    emit(results_dir, "ablation_pacing", text)
+    assert paced.retransmissions <= unpaced.retransmissions * 1.5
+    assert paced.steady_state_throughput_gbps() > unpaced.steady_state_throughput_gbps() * 0.85
+
+
+def test_ablation_night_policy(benchmark, results_dir):
+    """The 'slowdown' early-warning policy: compare against announcing
+    only at day starts and announcing every night."""
+
+    def sweep():
+        out = {}
+        for policy in ("slowdown", "none", "always"):
+            rdcn = RDCNConfig(notifier=NotifierConfig(night_policy=policy))
+            out[policy] = run("tdtcp", rdcn)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = "TDN night-announcement policy ablation (tdtcp):\n" + "\n".join(
+        f"  {policy:<10} {r.steady_state_throughput_gbps():6.2f} Gbps, "
+        f"{r.retransmissions} retx, {r.rtos} RTOs"
+        for policy, r in results.items()
+    )
+    emit(results_dir, "ablation_night_policy", text)
+    best = max(results.values(), key=lambda r: r.steady_state_throughput_gbps())
+    assert results["slowdown"].steady_state_throughput_gbps() >= (
+        best.steady_state_throughput_gbps() * 0.9
+    )
+
+
+def test_ablation_retcp_alpha(benchmark, results_dir):
+    """reTCP-dyn's ramp factor: too small wastes the circuit, too large
+    floods the enlarged VOQ."""
+
+    def sweep():
+        return {
+            alpha: run("retcpdyn", retcp_alpha=alpha)
+            for alpha in (1.5, 2.0, 3.0)
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = "reTCP-dyn ramp factor ablation:\n" + "\n".join(
+        f"  alpha={alpha:<4} {r.steady_state_throughput_gbps():6.2f} Gbps, "
+        f"{r.retransmissions} retx"
+        for alpha, r in results.items()
+    )
+    emit(results_dir, "ablation_retcp_alpha", text)
+    # The default (2.0) is at least as good as the sweep extremes.
+    assert results[2.0].steady_state_throughput_gbps() >= (
+        min(r.steady_state_throughput_gbps() for r in results.values())
+    )

@@ -1,0 +1,30 @@
+"""Figure 2: motivation sequence graph.
+
+CUBIC and MPTCP against the analytic optimal and packet-only lines over
+three optical weeks. Expected shape: both variants track the packet
+network's slope in unshaded periods but capture only a sliver of the
+optical day's extra capacity; MPTCP sits below CUBIC.
+"""
+
+from repro.experiments.figures import fig2
+from repro.experiments.report import render_seq_graph, render_throughput_summary
+
+from benchmarks.conftest import emit
+
+
+def test_fig02_sequence_graph(benchmark, results_dir, scale):
+    data = benchmark.pedantic(
+        lambda: fig2(**scale), rounds=1, iterations=1, warmup_rounds=0
+    )
+    text = "\n\n".join(
+        [render_seq_graph(data, points=14), render_throughput_summary(data)]
+    )
+    emit(results_dir, "fig02", text)
+
+    thr = data.throughputs_gbps
+    optimal_avg = 20.57  # analytic for the 6:1 / 10-100G schedule
+    # Paper: both variants fall far below optimal...
+    assert thr["cubic"] < optimal_avg * 0.75
+    assert thr["mptcp"] < optimal_avg * 0.75
+    # ...and MPTCP under-performs CUBIC (§2.2).
+    assert thr["mptcp"] < thr["cubic"]

@@ -1,0 +1,45 @@
+"""Figure 7: all variants under bandwidth AND latency differences.
+
+(a) sequence graphs: TDTCP dramatically out-performs CUBIC, DCTCP and
+MPTCP; reTCP needs dynamic buffers ("retcpdyn") to compete.
+(b) VOQ occupancy: retcpdyn pre-builds a large queue ahead of each
+circuit day; TDTCP shows its initial-burst spike at the optical->packet
+transition but stays modest otherwise.
+"""
+
+from repro.experiments.figures import fig7
+from repro.experiments.report import (
+    render_headline_claims,
+    render_seq_graph,
+    render_throughput_summary,
+    render_voq_graph,
+)
+
+from benchmarks.conftest import emit
+
+
+def test_fig07_bw_and_latency(benchmark, results_dir, scale):
+    data = benchmark.pedantic(
+        lambda: fig7(**scale), rounds=1, iterations=1, warmup_rounds=0
+    )
+    text = "\n\n".join(
+        [
+            render_seq_graph(data, points=14),
+            render_voq_graph(data, points=14),
+            render_throughput_summary(data),
+            render_headline_claims(data),
+        ]
+    )
+    emit(results_dir, "fig07", text)
+
+    thr = data.throughputs_gbps
+    # Figure 7a orderings.
+    assert thr["tdtcp"] > thr["cubic"] * 1.1
+    assert thr["tdtcp"] > thr["dctcp"] * 1.1
+    assert thr["tdtcp"] > thr["mptcp"] * 1.2
+    assert thr["mptcp"] == min(thr.values())
+    assert thr["retcpdyn"] > thr["retcp"]
+    # Figure 7b: retcpdyn fills the enlarged VOQ; nobody else exceeds
+    # the stock 96-segment (16 jumbo) capacity.
+    assert data.results["retcpdyn"].voq_max > 96
+    assert data.results["tdtcp"].voq_max <= 96

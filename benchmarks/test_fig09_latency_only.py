@@ -1,0 +1,32 @@
+"""Figure 9: latency difference only, both TDNs at 100 Gbps.
+
+Expected shape: the buffer-filling variants (CUBIC, reTCP, TDTCP) all
+perform almost identically; DCTCP — latency-sensitive — does worse;
+MPTCP again brings up the rear; optimal ~= packet-only.
+"""
+
+from repro.experiments.figures import fig9
+from repro.experiments.report import render_seq_graph, render_throughput_summary
+
+from benchmarks.conftest import emit
+
+
+def test_fig09_latency_only(benchmark, results_dir, scale):
+    # The 100 Gbps-everywhere fabric moves ~10x the packets per week of
+    # the hybrid setting; half the weeks keeps the suite tractable.
+    fig_scale = dict(scale)
+    fig_scale["weeks"] = max(scale["weeks"] // 2, scale["warmup_weeks"] + 4)
+    fig_scale["warmup_weeks"] = max(scale["warmup_weeks"] // 2, 2)
+    data = benchmark.pedantic(
+        lambda: fig9(**fig_scale), rounds=1, iterations=1, warmup_rounds=0
+    )
+    text = "\n\n".join(
+        [render_seq_graph(data, points=14), render_throughput_summary(data)]
+    )
+    emit(results_dir, "fig09", text)
+
+    thr = data.throughputs_gbps
+    # TDTCP and CUBIC perform almost identically (paper's caption).
+    assert abs(thr["tdtcp"] - thr["cubic"]) / thr["cubic"] < 0.35
+    # MPTCP at the rear.
+    assert thr["mptcp"] == min(thr.values())

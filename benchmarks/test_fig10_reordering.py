@@ -1,0 +1,46 @@
+"""Figure 10: reordering events and retransmitted packets per optical
+day — CDFs for CUBIC, MPTCP, and TDTCP.
+
+Expected shape: TDTCP cuts off CUBIC's spurious-retransmission tail
+(per delivered byte) and a healthy fraction of TDTCP's optical days see
+no reordering-induced retransmission at all.
+"""
+
+from repro.experiments.figures import fig10
+from repro.experiments.report import render_cdf_summary
+from repro.metrics.cdf import fraction_at_or_below
+
+from benchmarks.conftest import emit
+
+
+def test_fig10_reordering_cdfs(benchmark, results_dir, scale):
+    fig_scale = dict(scale)
+    fig_scale["weeks"] = max(fig_scale["weeks"], 32)  # CDFs need samples
+    data = benchmark.pedantic(
+        lambda: fig10(**fig_scale), rounds=1, iterations=1, warmup_rounds=0
+    )
+    reorder = {v: r.reordering_per_day for v, r in data.results.items()}
+    retx = {v: r.retx_marks_per_day for v, r in data.results.items()}
+    text = "\n\n".join(
+        [
+            render_cdf_summary("fig10a reordering events/day", reorder),
+            render_cdf_summary("fig10b retransmission marks/day", retx),
+            "spurious retransmissions per GB delivered:\n"
+            + "\n".join(
+                f"  {v:<8} {r.spurious_retransmissions / max(r.aggregate_delivered / 1e9, 1e-9):8.1f}"
+                for v, r in sorted(data.results.items())
+            ),
+        ]
+    )
+    emit(results_dir, "fig10", text)
+
+    # TDTCP's relaxed detection: fewer spurious retransmissions per
+    # delivered byte than CUBIC.
+    tdtcp = data.results["tdtcp"]
+    cubic = data.results["cubic"]
+    tdtcp_rate = tdtcp.spurious_retransmissions / max(tdtcp.aggregate_delivered, 1)
+    cubic_rate = cubic.spurious_retransmissions / max(cubic.aggregate_delivered, 1)
+    assert tdtcp_rate <= cubic_rate
+
+    # Some optical days are completely clean for TDTCP (paper: 80%).
+    assert fraction_at_or_below(tdtcp.retx_marks_per_day, 0) > 0.0

@@ -1,0 +1,35 @@
+"""Figure 11: TDTCP with vs without the TDN-change-notification
+optimizations of §5.4 (packet caching, pull model, dedicated network).
+
+Expected shape: the optimized stack delivers more (paper: +12.7%)
+because senders learn of TDN changes earlier and waste less of each
+day."""
+
+from repro.experiments.figures import fig11
+from repro.experiments.report import render_seq_graph, render_throughput_summary
+
+from benchmarks.conftest import emit
+
+
+def test_fig11_notification_optimizations(benchmark, results_dir, scale):
+    data = benchmark.pedantic(
+        lambda: fig11(**scale), rounds=1, iterations=1, warmup_rounds=0
+    )
+    thr = data.throughputs_gbps
+    gain = (thr["tdtcp"] / thr["tdtcp-unopt"] - 1) * 100
+    opt_lat = data.results["tdtcp"].notification_latencies
+    unopt_lat = data.results["tdtcp-unopt"].notification_latencies
+    mean = lambda xs: sum(xs) / max(len(xs), 1)
+    text = "\n\n".join(
+        [
+            render_seq_graph(data, points=14),
+            render_throughput_summary(data, baseline="tdtcp-unopt"),
+            f"optimization gain: {gain:+.1f}% (paper: +12.7%)",
+            f"mean notification latency: optimized {mean(opt_lat) / 1000:.2f} us, "
+            f"unoptimized {mean(unopt_lat) / 1000:.2f} us",
+        ]
+    )
+    emit(results_dir, "fig11", text)
+
+    assert thr["tdtcp"] > thr["tdtcp-unopt"]
+    assert mean(unopt_lat) > mean(opt_lat)

@@ -1,0 +1,35 @@
+"""Figure 13 (Appendix A.3): ToR VOQ occupancy for CUBIC and MPTCP in
+the hybrid RDCN.
+
+Expected shape: CUBIC keeps the VOQ near-full through the packet days
+and drains it during the optical day (service rate >> arrival rate
+there); MPTCP shows the tdm_schd switching dip."""
+
+from repro.experiments.figures import fig13
+from repro.experiments.report import render_throughput_summary, render_voq_graph
+
+from benchmarks.conftest import emit
+
+
+def test_fig13_voq_occupancy(benchmark, results_dir, scale):
+    data = benchmark.pedantic(
+        lambda: fig13(**scale), rounds=1, iterations=1, warmup_rounds=0
+    )
+    text = "\n\n".join(
+        [render_voq_graph(data, points=21), render_throughput_summary(data)]
+    )
+    emit(results_dir, "fig13", text)
+
+    # The optical day drains the CUBIC VOQ: its minimum folded occupancy
+    # is far below its packet-day level.
+    times, curve = data.voq_curves["cubic"]
+    week_ns = data.rdcn.week_ns
+    one_week = curve[: len(curve) // data.weeks_plotted]
+    optical_start = 6 * (data.rdcn.day_ns + data.rdcn.night_ns)
+    week_times = times[: len(one_week)]
+    packet_levels = [v for t, v in zip(week_times, one_week) if t < optical_start // 2]
+    optical_levels = [
+        v for t, v in zip(week_times, one_week)
+        if optical_start + data.rdcn.day_ns // 3 <= t < optical_start + data.rdcn.day_ns
+    ]
+    assert min(optical_levels) < max(packet_levels) * 0.5

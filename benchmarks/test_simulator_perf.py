@@ -1,0 +1,47 @@
+"""Simulator performance: raw event throughput and end-to-end packet
+rates. Not a paper figure — the regression guard that keeps the rest of
+the suite tractable."""
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.sim import Simulator
+
+from benchmarks.conftest import emit
+
+
+def test_event_loop_throughput(benchmark, results_dir):
+    """Minimal-callback event processing rate."""
+
+    def spin():
+        sim = Simulator()
+        count = 200_000
+
+        def chain(remaining):
+            if remaining:
+                sim.schedule(10, chain, remaining - 1)
+
+        chain(count)
+        sim.run()
+        return sim.processed_events
+
+    processed = benchmark(spin)
+    assert processed >= 200_000
+
+
+def test_rdcn_packets_per_second(benchmark, results_dir):
+    """End-to-end simulation speed on the paper's testbed."""
+
+    def run():
+        cfg = ExperimentConfig(variant="tdtcp", n_flows=8, weeks=10, warmup_weeks=2)
+        result = run_experiment(cfg)
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    packets = result.aggregate_delivered / result.config.rdcn.mss
+    wall_s = benchmark.stats["mean"]
+    emit(
+        results_dir,
+        "simulator_perf",
+        f"RDCN simulation speed: ~{packets / wall_s:,.0f} delivered packets/s of wall time\n"
+        f"(10 simulated weeks, 8 TDTCP flows, in {wall_s:.2f}s)",
+    )
+    assert packets > 10_000

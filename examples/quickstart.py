@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: one TDTCP flow on the paper's two-rack RDCN.
+
+Builds the Figure-6 testbed (10 Gbps packet network + 100 Gbps optical
+circuit, 180 us days, 20 us nights, 6:1 schedule), runs a single
+long-lived TDTCP flow for 30 optical weeks, and prints what happened.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.apps.bulk import BulkReceiver, BulkSender
+from repro.core import TDTCPConnection
+from repro.rdcn import RDCNConfig, build_two_rack_testbed
+from repro.tcp import TCPConfig
+from repro.tcp.sockets import create_connection_pair
+from repro.units import throughput_gbps, to_usec
+
+
+def main() -> None:
+    from repro.units import gbps
+
+    # A single flow gets the whole fabric: give its host a full-rate
+    # NIC and a window that covers the optical BDP.
+    config = RDCNConfig(n_hosts_per_rack=1, host_link_rate_bps=gbps(100))
+    testbed = build_two_rack_testbed(config)
+
+    client, server = create_connection_pair(
+        testbed.sim,
+        testbed.host(0, 0),
+        testbed.host(1, 0),
+        cc_name="cubic",                  # CUBIC inside every TDN (§3.5)
+        config=TCPConfig(mss=config.mss, rwnd_packets=1024, send_buffer_packets=2048),
+        connection_cls=TDTCPConnection,
+        tdn_count=config.n_tdns,
+    )
+    receiver = BulkReceiver(server)
+    BulkSender(client)  # endless stream: the paper's long-lived flow
+
+    weeks = 30
+    testbed.start()
+    testbed.sim.run(until=weeks * config.week_ns)
+
+    duration_ns = testbed.sim.now
+    print(f"simulated {to_usec(duration_ns):,.0f} us ({weeks} optical weeks)")
+    print(f"delivered {receiver.delivered_bytes:,} bytes "
+          f"= {throughput_gbps(receiver.delivered_bytes, duration_ns):.2f} Gbps")
+    print(f"TDN switches observed by the sender: {client.tdn_state.switches}")
+    print(f"retransmissions: {client.stats.retransmissions} "
+          f"(spurious: {client.stats.spurious_retransmissions}, RTOs: {client.stats.rtos})")
+    print()
+    print("per-TDN state at the end of the run:")
+    for path in client.paths:
+        name = "packet " if path.tdn_id == 0 else "optical"
+        srtt = f"{path.rtt.srtt_ns / 1000:.1f} us" if path.rtt.srtt_ns else "n/a"
+        print(f"  TDN {path.tdn_id} ({name}): cwnd={path.cc.cwnd:7.1f} MSS  "
+              f"srtt={srtt:>9}  state={path.ca_state.value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Compare every TCP variant on the paper's RDCN (a mini Figure 7).
+
+Runs cubic, dctcp, mptcp, retcp, retcpdyn and tdtcp on identical
+hardware and schedule, then prints steady-state throughput next to the
+analytic optimal and packet-only rates.
+
+Run:  python examples/variant_comparison.py [weeks]
+"""
+
+import sys
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.rdcn import RDCNConfig
+
+
+def main() -> None:
+    weeks = int(sys.argv[1]) if len(sys.argv) > 1 else 24
+    rdcn = RDCNConfig()
+    optimal = (
+        sum(
+            rdcn.tdn_rate_bps(tdn) * rdcn.day_ns
+            for tdn in rdcn.schedule_pattern
+        )
+        / rdcn.week_ns
+        / 1e9
+    )
+    print(f"schedule: {len(rdcn.schedule_pattern)} days/week, "
+          f"{rdcn.day_ns // 1000} us days, {rdcn.night_ns // 1000} us nights")
+    print(f"analytic optimal: {optimal:.2f} Gbps | packet-only: "
+          f"{rdcn.packet_rate_bps / 1e9:.2f} Gbps")
+    print()
+    print(f"{'variant':<10} {'Gbps':>7} {'% of optimal':>13} "
+          f"{'retx':>7} {'RTOs':>5}")
+
+    for variant in ("tdtcp", "retcpdyn", "retcp", "cubic", "dctcp", "mptcp"):
+        cfg = ExperimentConfig(
+            variant=variant, rdcn=rdcn, n_flows=8,
+            weeks=weeks, warmup_weeks=max(weeks // 4, 2),
+        )
+        result = run_experiment(cfg)
+        thr = result.steady_state_throughput_gbps()
+        print(f"{variant:<10} {thr:7.2f} {thr / optimal * 100:12.1f}% "
+              f"{result.retransmissions:7d} {result.rtos:5d}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""TDTCP reproduction: Time-division TCP for reconfigurable DCNs.
+
+Public API roadmap:
+
+* :mod:`repro.sim` — discrete-event simulator core.
+* :mod:`repro.net` — packets, links, queues, hosts, switches.
+* :mod:`repro.rdcn` — schedules, the time-multiplexed fabric, the
+  two-rack testbed builder, TDN-change notifications.
+* :mod:`repro.tcp` — the single-path TCP stack (CUBIC/DCTCP/Reno).
+* :mod:`repro.core` — TDTCP itself (the paper's contribution).
+* :mod:`repro.mptcp` — MPTCP with the tdm scheduler.
+* :mod:`repro.retcp` — reTCP and the dynamic-buffer controller.
+* :mod:`repro.apps` — bulk-transfer workloads.
+* :mod:`repro.metrics` — trace collectors and figure-series folding.
+* :mod:`repro.experiments` — per-figure experiment definitions.
+"""
+
+__version__ = "1.0.0"
+
+from repro.sim import Simulator
+from repro.rdcn import RDCNConfig, build_two_rack_testbed
+from repro.tcp import TCPConfig, TCPConnection
+
+__all__ = [
+    "Simulator",
+    "RDCNConfig",
+    "build_two_rack_testbed",
+    "TCPConfig",
+    "TCPConnection",
+    "__version__",
+]

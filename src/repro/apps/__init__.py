@@ -1,0 +1,32 @@
+"""Workload applications: bulk flows (flowgrind-like), short RPC
+flows, empirical flow-size mixes, incast rounds, and background cross
+traffic."""
+
+from repro.apps.bulk import BulkReceiver, BulkSender
+from repro.apps.workload import Flow, Workload
+from repro.apps.background import BackgroundTraffic
+from repro.apps.incast import IncastCoordinator, IncastStats, run_incast
+from repro.apps.shortflows import ShortFlowGenerator, ShortFlowStats
+from repro.apps.tracegen import (
+    DATA_MINING_CDF,
+    EmpiricalFlowSizes,
+    EmpiricalWorkload,
+    WEB_SEARCH_CDF,
+)
+
+__all__ = [
+    "BulkSender",
+    "BulkReceiver",
+    "Flow",
+    "Workload",
+    "BackgroundTraffic",
+    "IncastCoordinator",
+    "IncastStats",
+    "run_incast",
+    "ShortFlowGenerator",
+    "ShortFlowStats",
+    "EmpiricalFlowSizes",
+    "EmpiricalWorkload",
+    "WEB_SEARCH_CDF",
+    "DATA_MINING_CDF",
+]

@@ -1,0 +1,126 @@
+"""Empirical flow-size workloads.
+
+Data center studies (DCTCP, and most RDCN papers since) describe
+traffic with two canonical flow-size distributions measured in
+production — *web search* (Alizadeh et al. 2010) and *data mining*
+(Greenberg et al. 2009). This module provides both as inverse-CDF
+samplers plus a Poisson-arrival generator that drives the short-flow
+machinery at a target offered load, for experiments beyond the paper's
+long-lived-only workload.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Sequence, Tuple, Type
+
+from repro.apps.shortflows import ShortFlowGenerator
+from repro.net.node import Host
+from repro.sim.rng import SeededRandom
+from repro.sim.simulator import Simulator
+from repro.tcp.config import TCPConfig
+from repro.tcp.connection import TCPConnection
+from repro.units import SEC
+
+# (cumulative probability, flow size in bytes) — the widely used
+# piecewise approximations of the published CDFs.
+WEB_SEARCH_CDF: Tuple[Tuple[float, int], ...] = (
+    (0.00, 6_000),
+    (0.15, 13_000),
+    (0.20, 19_000),
+    (0.30, 33_000),
+    (0.40, 53_000),
+    (0.53, 133_000),
+    (0.60, 667_000),
+    (0.70, 1_333_000),
+    (0.80, 4_000_000),
+    (0.90, 8_000_000),
+    (0.97, 20_000_000),
+    (1.00, 30_000_000),
+)
+
+DATA_MINING_CDF: Tuple[Tuple[float, int], ...] = (
+    (0.00, 100),
+    (0.50, 300),
+    (0.60, 1_000),
+    (0.70, 2_000),
+    (0.80, 10_000),
+    (0.85, 100_000),
+    (0.90, 1_000_000),
+    (0.95, 10_000_000),
+    (0.99, 100_000_000),
+    (1.00, 1_000_000_000),
+)
+
+
+class EmpiricalFlowSizes:
+    """Inverse-CDF sampler over a piecewise-linear size distribution."""
+
+    def __init__(self, cdf: Sequence[Tuple[float, int]], rng: SeededRandom):
+        if len(cdf) < 2 or cdf[0][0] != 0.0 or cdf[-1][0] != 1.0:
+            raise ValueError("CDF must span probabilities 0.0 .. 1.0")
+        probs = [p for p, _s in cdf]
+        if probs != sorted(probs):
+            raise ValueError("CDF probabilities must be non-decreasing")
+        self._probs = probs
+        self._sizes = [s for _p, s in cdf]
+        self.rng = rng
+
+    def sample(self) -> int:
+        """One flow size, log-linearly interpolated within the bin."""
+        u = self.rng.random()
+        index = bisect.bisect_right(self._probs, u) - 1
+        index = min(index, len(self._probs) - 2)
+        p0, p1 = self._probs[index], self._probs[index + 1]
+        s0, s1 = self._sizes[index], self._sizes[index + 1]
+        if p1 == p0:
+            return s1
+        frac = (u - p0) / (p1 - p0)
+        # Interpolate in log space: flow sizes span many decades.
+        size = math.exp(math.log(s0) + frac * (math.log(s1) - math.log(s0)))
+        return max(int(size), 1)
+
+    def mean_estimate(self, samples: int = 10_000) -> float:
+        """Monte-Carlo mean (used to convert load to arrival rate)."""
+        probe = EmpiricalFlowSizes(
+            list(zip(self._probs, self._sizes)), self.rng.fork("mean-probe")
+        )
+        return sum(probe.sample() for _ in range(samples)) / samples
+
+
+class EmpiricalWorkload(ShortFlowGenerator):
+    """Poisson arrivals with empirically distributed flow sizes at a
+    target offered load (fraction of ``capacity_bps``)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: Host,
+        dst: Host,
+        rng: SeededRandom,
+        cdf: Sequence[Tuple[float, int]],
+        load: float,
+        capacity_bps: float,
+        connection_cls: Type[TCPConnection] = TCPConnection,
+        tcp_config: TCPConfig = None,
+        **conn_kwargs,
+    ):
+        if not (0.0 < load < 1.0):
+            raise ValueError("load must be in (0, 1)")
+        self.sizes = EmpiricalFlowSizes(cdf, rng.fork("sizes"))
+        mean_size = self.sizes.mean_estimate(samples=2_000)
+        arrival_rate = load * capacity_bps / 8.0 / mean_size  # flows/s
+        mean_interarrival_ns = int(SEC / arrival_rate)
+        super().__init__(
+            sim, src, dst, rng,
+            connection_cls=connection_cls,
+            tcp_config=tcp_config,
+            flow_size_bytes=0,  # per-flow, sampled in _launch
+            mean_interarrival_ns=mean_interarrival_ns,
+            **conn_kwargs,
+        )
+
+    def _launch(self) -> None:
+        self.flow_size_bytes = self.sizes.sample()
+        super()._launch()

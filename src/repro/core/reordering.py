@@ -1,0 +1,44 @@
+"""Relaxed reordering detection (§3.4).
+
+When the fast-retransmit heuristics flag a sequence hole, TDTCP
+inspects the TDN IDs of the segments in the hole and compares them with
+the TDN of the ACK that triggered the heuristic and with the TDN change
+pointer. Segments from a *different* TDN than the triggering ACK whose
+sequence numbers lie at or before the change pointer are suspected
+cross-TDN reordering — their ACKs are merely delayed on the slower
+path — and are *not* marked lost. Segments from the same TDN are true
+loss candidates and are retransmitted.
+
+True tail losses among the exempted segments are recovered by the
+RACK-TLP reorder timer (the connection bypasses this filter on the
+timer path).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def suspect_cross_tdn_reordering(
+    segment_tdn: int,
+    ack_tdn: Optional[int],
+    segment_seq: int,
+    tdn_change_seq: int,
+) -> bool:
+    """True when the hole segment should be exempted from loss marking.
+
+    ``tdn_change_seq`` is the TDN change pointer: the first sequence
+    number sent in the current TDN. A hole segment sent on a different
+    TDN than the triggering ACK, with a sequence number from before the
+    change point, is almost certainly just delayed, not lost.
+    """
+    if ack_tdn is None:
+        # Peer is not tagging ACKs (downgraded or plain TCP): no basis
+        # for exemption.
+        return False
+    if segment_tdn == ack_tdn:
+        return False
+    # Different TDN: exempt when the segment predates the change point.
+    # Segments *after* the pointer with a stale tag (e.g. retransmitted
+    # across the switch) are treated as same-TDN candidates.
+    return segment_seq < tdn_change_seq or tdn_change_seq == 0

@@ -1,0 +1,14 @@
+"""Experiment harness: variants, runner, and per-figure definitions."""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.variants import VARIANTS, VariantSpec, get_variant
+from repro.experiments.runner import ExperimentResult, run_experiment
+
+__all__ = [
+    "ExperimentConfig",
+    "VARIANTS",
+    "VariantSpec",
+    "get_variant",
+    "ExperimentResult",
+    "run_experiment",
+]

@@ -1,0 +1,101 @@
+"""Command-line entry point: regenerate paper figures from a shell.
+
+Usage::
+
+    python -m repro.experiments.cli fig7 --weeks 40 --flows 8
+    python -m repro.experiments.cli fig10 --csv out/
+    python -m repro.experiments.cli sweep-ratio
+    python -m repro.experiments.cli list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import figures
+from repro.experiments.report import (
+    figure_to_csv,
+    render_cdf_summary,
+    render_headline_claims,
+    render_seq_graph,
+    render_throughput_summary,
+    render_voq_graph,
+)
+from repro.experiments.sweeps import day_length_sweep, duty_ratio_sweep
+
+FIGURES: Dict[str, Callable] = {
+    "fig2": figures.fig2,
+    "fig7": figures.fig7,
+    "fig8": figures.fig8,
+    "fig9": figures.fig9,
+    "fig10": figures.fig10,
+    "fig11": figures.fig11,
+    "fig13": figures.fig13,
+    "fig14-10g": lambda **kw: figures.fig14(10.0, **kw),
+    "fig14-100g": lambda **kw: figures.fig14(100.0, **kw),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.cli",
+        description="Regenerate the TDTCP paper's figures on the simulator.",
+    )
+    parser.add_argument("target", help="figure id (fig2..fig14-100g), 'sweep-ratio', 'sweep-day', or 'list'")
+    parser.add_argument("--weeks", type=int, default=24, help="optical weeks to simulate")
+    parser.add_argument("--warmup", type=int, default=8, help="warm-up weeks excluded from averages")
+    parser.add_argument("--flows", type=int, default=8, help="parallel cross-rack flows")
+    parser.add_argument("--seed", type=int, default=1, help="simulation seed")
+    parser.add_argument("--csv", metavar="DIR", default=None, help="also write series as CSV files")
+    return parser
+
+
+def run_figure(name: str, args) -> str:
+    data = FIGURES[name](
+        weeks=args.weeks, warmup_weeks=args.warmup, n_flows=args.flows, seed=args.seed
+    )
+    sections = [render_throughput_summary(data)]
+    if data.seq_curves:
+        sections.insert(0, render_seq_graph(data))
+    if data.voq_curves:
+        sections.append(render_voq_graph(data))
+    if name == "fig7":
+        sections.append(render_headline_claims(data))
+    if name == "fig10":
+        sections.append(
+            render_cdf_summary(
+                "fig10 retransmission marks/day",
+                {v: r.retx_marks_per_day for v, r in data.results.items()},
+            )
+        )
+    if args.csv:
+        written = figure_to_csv(data, args.csv)
+        sections.append("CSV written:\n  " + "\n  ".join(written))
+    return "\n\n".join(sections)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.target == "list":
+        print("figures:", ", ".join(sorted(FIGURES)))
+        print("sweeps: sweep-ratio, sweep-day")
+        return 0
+    if args.target == "sweep-ratio":
+        result = duty_ratio_sweep(weeks=args.weeks, warmup_weeks=args.warmup, n_flows=args.flows, seed=args.seed)
+        print(result.render())
+        return 0
+    if args.target == "sweep-day":
+        result = day_length_sweep(weeks=args.weeks, warmup_weeks=args.warmup, n_flows=args.flows, seed=args.seed)
+        print(result.render())
+        return 0
+    if args.target not in FIGURES:
+        print(f"unknown target {args.target!r}; try 'list'", file=sys.stderr)
+        return 2
+    print(run_figure(args.target, args))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

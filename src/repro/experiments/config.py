@@ -1,0 +1,58 @@
+"""Experiment configuration: one variant run on one RDCN setting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.rdcn.config import NotifierConfig, RDCNConfig
+from repro.tcp.config import TCPConfig
+
+
+@dataclass
+class ExperimentConfig:
+    """Everything a single run needs.
+
+    The paper runs 16 flows for 40 s (thousands of weeks) on hardware;
+    the defaults here are scaled for a Python event simulator — 4 flows
+    for tens of weeks — which preserves every mechanism while keeping
+    runs interactive. ``n_flows`` and ``weeks`` scale up freely.
+    """
+
+    variant: str = "tdtcp"
+    rdcn: RDCNConfig = field(default_factory=RDCNConfig)
+    tcp: Optional[TCPConfig] = None
+    n_flows: int = 4
+    weeks: int = 30
+    warmup_weeks: int = 5
+    # reTCP's multiplicative ramp factor: sized so the aggregate ramped
+    # window roughly fills the enlarged VOQ plus circuit BDP without
+    # overflowing it (swept in benchmarks/test_ablations.py).
+    retcp_alpha: float = 2.0
+    # Cross traffic (§2.1's "subject to background traffic"): fraction
+    # of the packet network's rate injected as on/off background load
+    # between the last host pair (0 disables).
+    background_load: float = 0.0
+    collect_voq: bool = True
+    collect_sequence: bool = True
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.weeks <= self.warmup_weeks:
+            raise ValueError("weeks must exceed warmup_weeks")
+        if self.n_flows < 1:
+            raise ValueError("need at least one flow")
+        if not (0.0 <= self.background_load < 1.0):
+            raise ValueError("background_load must be in [0, 1)")
+        if self.tcp is None:
+            self.tcp = TCPConfig(mss=self.rdcn.mss)
+        if self.n_flows > self.rdcn.n_hosts_per_rack:
+            self.rdcn = replace(self.rdcn, n_hosts_per_rack=self.n_flows)
+
+    @property
+    def duration_ns(self) -> int:
+        return self.weeks * self.rdcn.week_ns
+
+    def with_unoptimized_notifier(self) -> "ExperimentConfig":
+        rdcn = replace(self.rdcn, notifier=NotifierConfig.unoptimized())
+        return replace(self, rdcn=rdcn)

@@ -1,0 +1,193 @@
+"""Text rendering of figure data — the rows/series the paper reports.
+
+Benchmarks print these tables so a run of ``pytest benchmarks/``
+regenerates every figure as text; EXPERIMENTS.md records them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.figures import FigureData
+from repro.metrics.cdf import quantile
+from repro.units import to_usec
+
+
+def _sample_curve(curve: Tuple[np.ndarray, np.ndarray], points: int) -> List[Tuple[float, float]]:
+    times, values = curve
+    if len(times) == 0:
+        return []
+    idx = np.linspace(0, len(times) - 1, points).astype(int)
+    return [(to_usec(int(times[i])), float(values[i])) for i in idx]
+
+
+def render_series_table(
+    data: FigureData,
+    curves: Dict[str, Tuple[np.ndarray, np.ndarray]],
+    value_label: str,
+    scale: float = 1.0,
+    points: int = 12,
+    include_references: bool = False,
+) -> str:
+    """One row per sampled time, one column per variant."""
+    columns: List[Tuple[str, Tuple[np.ndarray, np.ndarray]]] = []
+    if include_references and data.optimal is not None:
+        columns.append(("optimal", data.optimal))
+    columns.extend(sorted(curves.items()))
+    if include_references and data.packet_only is not None:
+        columns.append(("packet-only", data.packet_only))
+    if not columns:
+        return "(no series)"
+    sampled = {name: _sample_curve(curve, points) for name, curve in columns}
+    names = [name for name, _ in columns]
+    header = f"{'time(us)':>10} " + " ".join(f"{n:>12}" for n in names)
+    lines = [f"[{data.name}] {value_label}", header]
+    base = sampled[names[0]]
+    for row in range(len(base)):
+        t = base[row][0]
+        cells = []
+        for name in names:
+            series = sampled[name]
+            value = series[row][1] * scale if row < len(series) else float("nan")
+            cells.append(f"{value:12.2f}")
+        lines.append(f"{t:10.1f} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def render_seq_graph(data: FigureData, points: int = 12) -> str:
+    """Sequence-number graph as text (bytes in MB)."""
+    return render_series_table(
+        data, data.seq_curves, "sequence progress (MB)", scale=1e-6,
+        points=points, include_references=True,
+    )
+
+
+def render_voq_graph(data: FigureData, points: int = 12, jumbo_equivalent: bool = True) -> str:
+    """VOQ occupancy over time. With ``jumbo_equivalent`` the counts are
+    divided by 6 so the axis matches the paper's jumbo-frame units."""
+    scale = 1.0 / 6.0 if jumbo_equivalent else 1.0
+    label = "VOQ length (jumbo-frame equivalents)" if jumbo_equivalent else "VOQ length (packets)"
+    return render_series_table(data, data.voq_curves, label, scale=scale, points=points)
+
+
+def render_throughput_summary(data: FigureData, baseline: str = "cubic") -> str:
+    lines = [f"[{data.name}] steady-state throughput"]
+    base = data.throughputs_gbps.get(baseline)
+    optimal_rate = None
+    if data.optimal is not None:
+        times, values = data.optimal
+        optimal_rate = values[-1] * 8 / (times[-1] / 1e9) / 1e9 if times[-1] > 0 else None
+    for variant in sorted(data.throughputs_gbps, key=data.throughputs_gbps.get, reverse=True):
+        thr = data.throughputs_gbps[variant]
+        rel = f" ({(thr / base - 1) * +100:+.0f}% vs {baseline})" if base else ""
+        lines.append(f"  {variant:<12} {thr:6.2f} Gbps{rel}")
+    if optimal_rate:
+        lines.append(f"  {'optimal':<12} {optimal_rate:6.2f} Gbps (analytic)")
+    return "\n".join(lines)
+
+
+def render_cdf_summary(
+    name: str,
+    per_day: Dict[str, Sequence[int]],
+    quantiles: Iterable[float] = (0.5, 0.9, 0.99, 1.0),
+) -> str:
+    """Figure-10-style distribution summary of per-day counts."""
+    qs = list(quantiles)
+    header = f"{'variant':<10} " + " ".join(f"{'p' + str(int(q * 100)):>5}" for q in qs) + "  zero-days"
+    lines = [f"[{name}] per-optical-day distribution", header]
+    for variant, samples in sorted(per_day.items()):
+        cells = " ".join(f"{quantile(samples, q):5.0f}" for q in qs)
+        zero = sum(1 for s in samples if s == 0) / len(samples) if len(samples) else 0.0
+        lines.append(f"{variant:<10} {cells}  {zero * 100:8.0f}%")
+    return "\n".join(lines)
+
+
+def figure_to_csv(data: FigureData, directory) -> List[str]:
+    """Write a figure's series as CSV files (one per series family);
+    returns the paths written. For plotting outside this package."""
+    import csv
+    import pathlib
+
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: List[str] = []
+
+    def dump(name: str, curves: Dict[str, Tuple[np.ndarray, np.ndarray]], extra=None):
+        if not curves and not extra:
+            return
+        path = directory / f"{data.name}_{name}.csv"
+        columns = dict(curves)
+        if extra:
+            columns.update(extra)
+        names = sorted(columns)
+        grids = {n: columns[n] for n in names}
+        length = max(len(g[0]) for g in grids.values())
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            header = []
+            for n in names:
+                header.extend([f"{n}_time_ns", f"{n}_value"])
+            writer.writerow(header)
+            for i in range(length):
+                row = []
+                for n in names:
+                    times, values = grids[n]
+                    if i < len(times):
+                        row.extend([int(times[i]), float(values[i])])
+                    else:
+                        row.extend(["", ""])
+                writer.writerow(row)
+        written.append(str(path))
+
+    refs = {}
+    if data.optimal is not None:
+        refs["optimal"] = data.optimal
+    if data.packet_only is not None:
+        refs["packet_only"] = data.packet_only
+    dump("seq", data.seq_curves, extra=refs)
+    dump("voq", data.voq_curves)
+    if data.throughputs_gbps:
+        path = directory / f"{data.name}_throughput.csv"
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["variant", "gbps"])
+            for variant, thr in sorted(data.throughputs_gbps.items()):
+                writer.writerow([variant, thr])
+        written.append(str(path))
+    return written
+
+
+def headline_claims(data: FigureData) -> Dict[str, float]:
+    """The abstract's numbers from a Figure-7 run: TDTCP vs CUBIC/DCTCP
+    (paper: +24%), vs MPTCP (paper: +41%), vs reTCP-dyn (paper: parity)."""
+    thr = data.throughputs_gbps
+
+    def gain(a: str, b: str) -> Optional[float]:
+        if a in thr and b in thr and thr[b] > 0:
+            return (thr[a] / thr[b] - 1.0) * 100.0
+        return None
+
+    claims = {}
+    for other in ("cubic", "dctcp", "mptcp", "retcp", "retcpdyn"):
+        value = gain("tdtcp", other)
+        if value is not None:
+            claims[f"tdtcp_vs_{other}_pct"] = value
+    return claims
+
+
+def render_headline_claims(data: FigureData) -> str:
+    paper = {
+        "tdtcp_vs_cubic_pct": 24.0,
+        "tdtcp_vs_dctcp_pct": 24.0,
+        "tdtcp_vs_mptcp_pct": 41.0,
+        "tdtcp_vs_retcpdyn_pct": 0.0,
+    }
+    claims = headline_claims(data)
+    lines = [f"[{data.name}] headline claims (paper vs measured)"]
+    for key, measured in sorted(claims.items()):
+        expect = paper.get(key)
+        expect_s = f"{expect:+6.1f}%" if expect is not None else "   n/a "
+        lines.append(f"  {key:<24} paper {expect_s}   measured {measured:+6.1f}%")
+    return "\n".join(lines)

@@ -1,0 +1,167 @@
+"""Run one variant on one RDCN configuration and collect everything
+the figures need."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.workload import build_workload
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.variants import get_variant
+from repro.metrics.collectors import EventCounterCollector, QueueOccupancyCollector
+from repro.rdcn.config import NotifierConfig
+from repro.rdcn.topology import TwoRackTestbed, build_two_rack_testbed
+from repro.units import throughput_gbps
+
+
+@dataclass
+class ExperimentResult:
+    """Raw outputs of one run."""
+
+    config: ExperimentConfig
+    duration_ns: int
+    flow_delivered: List[int] = field(default_factory=list)
+    aggregate_delivered: int = 0
+    # Aggregate receiver-progress step series: (time, total bytes).
+    seq_samples: List[Tuple[int, int]] = field(default_factory=list)
+    # VOQ occupancy step series of the rack-0 -> rack-1 uplink.
+    voq_samples: List[Tuple[int, int]] = field(default_factory=list)
+    voq_max: int = 0
+    # Per-optical-day counters (Figure 10).
+    reordering_per_day: List[int] = field(default_factory=list)
+    retx_marks_per_day: List[int] = field(default_factory=list)
+    # Sender-side totals.
+    retransmissions: int = 0
+    spurious_retransmissions: int = 0
+    rtos: int = 0
+    fast_recoveries: int = 0
+    reinjections: int = 0
+    notification_latencies: List[int] = field(default_factory=list)
+
+    @property
+    def throughput_gbps(self) -> float:
+        return throughput_gbps(self.aggregate_delivered, self.duration_ns)
+
+    def steady_state_throughput_gbps(self) -> float:
+        """Throughput excluding the warm-up weeks."""
+        warmup_ns = self.config.warmup_weeks * self.config.rdcn.week_ns
+        warm_bytes = 0
+        for time_ns, total in self.seq_samples:
+            if time_ns <= warmup_ns:
+                warm_bytes = total
+            else:
+                break
+        return throughput_gbps(
+            self.aggregate_delivered - warm_bytes, self.duration_ns - warmup_ns
+        )
+
+
+class _AggregateSeqCollector:
+    """Merges per-flow rcv_nxt advances into one total-bytes series."""
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.samples: List[Tuple[int, int]] = []
+        self._per_flow_last: Dict[int, int] = {}
+
+    def make_callback(self, flow_index: int):
+        self._per_flow_last[flow_index] = 0
+
+        def on_delivered(time_ns: int, rcv_nxt: int) -> None:
+            delta = rcv_nxt - self._per_flow_last[flow_index]
+            if delta <= 0:
+                return
+            self._per_flow_last[flow_index] = rcv_nxt
+            self.total += delta
+            self.samples.append((time_ns, self.total))
+
+        return on_delivered
+
+
+def _iter_sender_stats(sender):
+    """Yield ConnStats objects from a sender endpoint (MPTCP has one
+    per subflow)."""
+    if hasattr(sender, "subflows"):
+        for subflow in sender.subflows:
+            yield subflow.stats
+    else:
+        yield sender.stats
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Build the testbed, run the workload, gather the results."""
+    variant = get_variant(config.variant)
+    rdcn = config.rdcn
+    if variant.unoptimized_notifier:
+        rdcn = replace(rdcn, notifier=NotifierConfig.unoptimized())
+    rdcn = replace(rdcn, seed=config.seed)
+
+    testbed = build_two_rack_testbed(rdcn, ecn=variant.needs_ecn)
+    context = variant.prepare(testbed, config)
+
+    seq_collector = _AggregateSeqCollector()
+
+    def flow_factory(tb: TwoRackTestbed, src, dst, index: int):
+        sender, receiver = variant.make_flow(tb, src, dst, index, config, context)
+        receiver.on_delivered = seq_collector.make_callback(index)
+        return sender, receiver
+
+    workload = build_workload(
+        testbed, flow_factory, n_flows=config.n_flows, trace_sequence=False
+    )
+
+    voq_collector: Optional[QueueOccupancyCollector] = None
+    if config.collect_voq:
+        voq_collector = QueueOccupancyCollector(testbed.sim, testbed.uplinks[0].queue)
+
+    if config.background_load > 0.0:
+        # Cross traffic between the last host pair, sharing the fabric
+        # with the measured flows (§2.1's within-TDN oscillation).
+        from repro.apps.background import BackgroundTraffic
+
+        bg_index = rdcn.n_hosts_per_rack - 1
+        background = BackgroundTraffic(
+            testbed.sim,
+            testbed.host(0, bg_index),
+            testbed.host(1, bg_index),
+            rate_bps=config.background_load * rdcn.packet_rate_bps,
+            rng=testbed.rng,
+        )
+        background.start()
+
+    testbed.start()
+    testbed.sim.run(until=config.duration_ns)
+
+    result = ExperimentResult(config=config, duration_ns=config.duration_ns)
+    result.flow_delivered = [flow.delivered_bytes for flow in workload.flows]
+    result.aggregate_delivered = seq_collector.total
+    result.seq_samples = seq_collector.samples
+    if voq_collector is not None:
+        result.voq_samples = voq_collector.samples
+        result.voq_max = voq_collector.max_occupancy()
+
+    reorder_counter = EventCounterCollector(testbed.schedule)
+    retx_counter = EventCounterCollector(testbed.schedule)
+    for flow in workload.flows:
+        for stats in _iter_sender_stats(flow.sender):
+            result.retransmissions += stats.retransmissions
+            result.spurious_retransmissions += stats.spurious_retransmissions
+            result.rtos += stats.rtos
+            result.fast_recoveries += stats.fast_recoveries
+            reorder_counter.record_events(
+                [(t, 1) for t, _n in stats.reordering_events]
+            )
+            retx_counter.record_events(
+                [(mark[0], 1) for mark in stats.retransmit_marks]
+            )
+        if hasattr(flow.sender, "stats") and hasattr(flow.sender.stats, "reinjections"):
+            result.reinjections += flow.sender.stats.reinjections
+    result.reordering_per_day = reorder_counter.per_day_counts(
+        config.weeks, config.warmup_weeks
+    )
+    result.retx_marks_per_day = retx_counter.per_day_counts(
+        config.weeks, config.warmup_weeks
+    )
+    result.notification_latencies = list(testbed.notifier.delivery_latency_samples)
+    return result

@@ -1,0 +1,130 @@
+"""Parameter sweeps beyond the paper's headline setting.
+
+Two studies the paper explicitly defers:
+
+* §5.1: "TDTCP has the most advantage over other TCP variants with
+  ratios on this order [6:1]. We leave it as future work to study
+  TDTCP's performance when operating under extreme ratios." —
+  :func:`duty_ratio_sweep` varies the packet:optical day ratio.
+* §3.5: "TDTCP is most suitable to operate in networks where the
+  periods between TDN changes are 1-100x path RTT." —
+  :func:`day_length_sweep` varies the day duration across that band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.rdcn.config import RDCNConfig
+from repro.units import usec
+
+
+@dataclass
+class SweepPoint:
+    """One (setting, variant) measurement."""
+
+    label: str
+    variant: str
+    throughput_gbps: float
+    retransmissions: int
+    rtos: int
+
+
+@dataclass
+class SweepResult:
+    name: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def by_label(self) -> Dict[str, Dict[str, float]]:
+        out: Dict[str, Dict[str, float]] = {}
+        for p in self.points:
+            out.setdefault(p.label, {})[p.variant] = p.throughput_gbps
+        return out
+
+    def render(self) -> str:
+        table = self.by_label()
+        variants = sorted({p.variant for p in self.points})
+        header = f"{'setting':>14} " + " ".join(f"{v:>10}" for v in variants)
+        lines = [f"[{self.name}] steady-state throughput (Gbps)", header]
+        for label, row in table.items():
+            cells = " ".join(f"{row.get(v, float('nan')):10.2f}" for v in variants)
+            lines.append(f"{label:>14} {cells}")
+        return "\n".join(lines)
+
+
+def _run_point(
+    result: SweepResult,
+    label: str,
+    variant: str,
+    rdcn: RDCNConfig,
+    weeks: int,
+    warmup_weeks: int,
+    n_flows: int,
+    seed: int,
+) -> None:
+    cfg = ExperimentConfig(
+        variant=variant,
+        rdcn=rdcn,
+        n_flows=n_flows,
+        weeks=weeks,
+        warmup_weeks=warmup_weeks,
+        seed=seed,
+    )
+    run = run_experiment(cfg)
+    result.points.append(
+        SweepPoint(
+            label=label,
+            variant=variant,
+            throughput_gbps=run.steady_state_throughput_gbps(),
+            retransmissions=run.retransmissions,
+            rtos=run.rtos,
+        )
+    )
+
+
+def duty_ratio_sweep(
+    packet_days: Sequence[int] = (2, 6, 13),
+    variants: Sequence[str] = ("cubic", "tdtcp"),
+    weeks: int = 24,
+    warmup_weeks: int = 8,
+    n_flows: int = 8,
+    seed: int = 1,
+) -> SweepResult:
+    """Vary the packet:optical ratio (the paper's future work).
+
+    ``packet_days=n`` gives an ``n:1`` schedule — the projection of an
+    ``n+2``-rack rotor fabric.
+    """
+    result = SweepResult(name="duty-ratio-sweep")
+    base = RDCNConfig()
+    for n_packet in packet_days:
+        pattern = tuple([0] * n_packet + [1])
+        rdcn = replace(base, schedule_pattern=pattern)
+        for variant in variants:
+            _run_point(result, f"{n_packet}:1", variant, rdcn, weeks, warmup_weeks, n_flows, seed)
+    return result
+
+
+def day_length_sweep(
+    day_us_values: Sequence[int] = (60, 180, 1000),
+    variants: Sequence[str] = ("cubic", "tdtcp"),
+    weeks: int = 24,
+    warmup_weeks: int = 8,
+    n_flows: int = 8,
+    seed: int = 1,
+) -> SweepResult:
+    """Vary the day duration across the §3.5 operating band.
+
+    The packet RTT is ~100 us, so 60/180/1000 us days correspond to
+    roughly 0.6x / 2x / 10x RTT per configuration.
+    """
+    result = SweepResult(name="day-length-sweep")
+    base = RDCNConfig()
+    for day_us in day_us_values:
+        rdcn = replace(base, day_ns=usec(day_us))
+        for variant in variants:
+            _run_point(result, f"{day_us}us", variant, rdcn, weeks, warmup_weeks, n_flows, seed)
+    return result

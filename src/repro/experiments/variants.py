@@ -1,0 +1,163 @@
+"""The TCP variants under evaluation (§5.2).
+
+Each :class:`VariantSpec` knows how to prepare the testbed (ECN queues
+for DCTCP, the dynamic-buffer controller for retcpdyn, the unoptimized
+notifier for tdtcp-unopt) and how to wire one cross-rack flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.tdtcp import TDTCPConnection
+from repro.mptcp.connection import create_mptcp_pair
+from repro.rdcn.topology import TwoRackTestbed
+from repro.retcp.dynbuf import DynamicBufferController
+from repro.retcp.retcp import ReTCPConnection
+from repro.tcp.connection import TCPConnection
+from repro.tcp.sockets import create_connection_pair
+
+
+@dataclass
+class VariantSpec:
+    """One evaluated TCP variant."""
+
+    name: str
+    description: str
+    needs_ecn: bool = False
+    unoptimized_notifier: bool = False
+
+    def prepare(self, testbed: TwoRackTestbed, exp_config) -> dict:
+        """Per-run context (e.g. the retcpdyn controller)."""
+        return {}
+
+    def make_flow(self, testbed: TwoRackTestbed, src, dst, index: int, exp_config, context: dict):
+        """Returns (sender_endpoint, receiver_endpoint)."""
+        raise NotImplementedError
+
+
+class SinglePathVariant(VariantSpec):
+    """cubic / dctcp: stock single-path TCP."""
+
+    def __init__(self, name: str, cc_name: str, description: str, needs_ecn: bool = False):
+        super().__init__(name=name, description=description, needs_ecn=needs_ecn)
+        self.cc_name = cc_name
+
+    def make_flow(self, testbed, src, dst, index, exp_config, context):
+        client, server = create_connection_pair(
+            testbed.sim, src, dst, cc_name=self.cc_name, config=exp_config.tcp
+        )
+        return client, server
+
+
+class MPTCPVariant(VariantSpec):
+    """mptcp2f: two subflows pinned to packet/optical with tdm_schd."""
+
+    def __init__(self):
+        super().__init__(
+            name="mptcp",
+            description="MPTCP, 2 subflows pinned per network, tdm_schd scheduler",
+        )
+
+    def make_flow(self, testbed, src, dst, index, exp_config, context):
+        client, server = create_mptcp_pair(
+            testbed.sim,
+            src,
+            dst,
+            cc_name="cubic",
+            config=exp_config.tcp,
+            n_subflows=min(2, testbed.config.n_tdns),
+        )
+        return client, server
+
+
+class ReTCPVariant(VariantSpec):
+    """retcp / retcpdyn."""
+
+    def __init__(self, name: str, dynamic_buffers: bool):
+        self.dynamic_buffers = dynamic_buffers
+        description = (
+            "reTCP with dynamic VOQ resizing and advance ramp notification"
+            if dynamic_buffers
+            else "reTCP reacting to in-band circuit marks only"
+        )
+        super().__init__(name=name, description=description)
+
+    def prepare(self, testbed, exp_config) -> dict:
+        if not self.dynamic_buffers:
+            return {}
+        controller = DynamicBufferController(
+            testbed.sim,
+            testbed.driver,
+            list(testbed.uplinks.values()),
+            normal_capacity=testbed.config.voq_capacity,
+            circuit_capacity=testbed.config.retcpdyn_voq_capacity,
+            lead_ns=testbed.config.retcpdyn_lead_ns,
+            optical_tdn=1,
+        )
+        return {"controller": controller}
+
+    def make_flow(self, testbed, src, dst, index, exp_config, context):
+        client, server = create_connection_pair(
+            testbed.sim,
+            src,
+            dst,
+            cc_name="cubic",
+            config=exp_config.tcp,
+            connection_cls=ReTCPConnection,
+            alpha=exp_config.retcp_alpha,
+        )
+        controller: Optional[DynamicBufferController] = context.get("controller")
+        if controller is not None:
+            controller.register(client)
+            controller.register(server)
+        return client, server
+
+
+class TDTCPVariant(VariantSpec):
+    """tdtcp / tdtcp-unopt (unoptimized TDN change notification)."""
+
+    def __init__(self, name: str = "tdtcp", unoptimized_notifier: bool = False):
+        description = "TDTCP (per-TDN congestion state, CUBIC per TDN)"
+        if unoptimized_notifier:
+            description += ", unoptimized notification path"
+        super().__init__(
+            name=name,
+            description=description,
+            unoptimized_notifier=unoptimized_notifier,
+        )
+
+    def make_flow(self, testbed, src, dst, index, exp_config, context):
+        client, server = create_connection_pair(
+            testbed.sim,
+            src,
+            dst,
+            cc_name="cubic",
+            config=exp_config.tcp,
+            connection_cls=TDTCPConnection,
+            tdn_count=testbed.config.n_tdns,
+        )
+        return client, server
+
+
+VARIANTS: Dict[str, VariantSpec] = {
+    spec.name: spec
+    for spec in (
+        SinglePathVariant("cubic", "cubic", "single-path TCP CUBIC"),
+        SinglePathVariant("dctcp", "dctcp", "DCTCP (ECN-based)", needs_ecn=True),
+        SinglePathVariant("reno", "reno", "single-path TCP NewReno"),
+        MPTCPVariant(),
+        ReTCPVariant("retcp", dynamic_buffers=False),
+        ReTCPVariant("retcpdyn", dynamic_buffers=True),
+        TDTCPVariant("tdtcp"),
+        TDTCPVariant("tdtcp-unopt", unoptimized_notifier=True),
+    )
+}
+
+
+def get_variant(name: str) -> VariantSpec:
+    try:
+        return VARIANTS[name]
+    except KeyError:
+        raise KeyError(f"unknown variant {name!r}; known: {sorted(VARIANTS)}") from None

@@ -1,0 +1,26 @@
+"""Measurement: trace collectors and figure-series post-processing."""
+
+from repro.metrics.collectors import QueueOccupancyCollector, EventCounterCollector
+from repro.metrics.seqgraph import (
+    fold_series_by_week,
+    tile_weeks,
+    optimal_curve,
+    constant_rate_curve,
+    step_interpolate,
+)
+from repro.metrics.cdf import empirical_cdf, quantile
+from repro.metrics.fairness import jain_index, max_min_ratio
+
+__all__ = [
+    "jain_index",
+    "max_min_ratio",
+    "QueueOccupancyCollector",
+    "EventCounterCollector",
+    "fold_series_by_week",
+    "tile_weeks",
+    "optimal_curve",
+    "constant_rate_curve",
+    "step_interpolate",
+    "empirical_cdf",
+    "quantile",
+]

@@ -1,0 +1,37 @@
+"""Empirical CDF helpers for the Figure 10 distributions."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def empirical_cdf(samples: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Sorted values and their cumulative probabilities.
+
+    Returns ``(x, p)`` with ``p[i]`` = fraction of samples <= ``x[i]``.
+    Empty input yields empty arrays.
+    """
+    if len(samples) == 0:
+        return np.asarray([]), np.asarray([])
+    x = np.sort(np.asarray(samples, dtype=float))
+    p = np.arange(1, len(x) + 1) / len(x)
+    return x, p
+
+
+def quantile(samples: Sequence[float], q: float) -> float:
+    """The q-quantile (0..1) of the samples; 0.0 for empty input."""
+    if len(samples) == 0:
+        return 0.0
+    if not (0.0 <= q <= 1.0):
+        raise ValueError("quantile must be within [0, 1]")
+    return float(np.quantile(np.asarray(samples, dtype=float), q))
+
+
+def fraction_at_or_below(samples: Sequence[float], threshold: float) -> float:
+    """Fraction of samples <= threshold (e.g. '80% of days see zero')."""
+    if len(samples) == 0:
+        return 0.0
+    arr = np.asarray(samples, dtype=float)
+    return float(np.mean(arr <= threshold))

@@ -1,0 +1,34 @@
+"""Fairness metrics (§3.5: "We expect CCAs used within each TDN to have
+similar fairness properties as their single-path siblings").
+
+Jain's fairness index over per-flow allocations: 1.0 = perfectly fair,
+1/n = one flow takes everything.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def jain_index(allocations: Sequence[float]) -> float:
+    """Jain's fairness index; 0.0 for empty or all-zero input."""
+    values = [max(float(v), 0.0) for v in allocations]
+    if not values:
+        return 0.0
+    total = sum(values)
+    if total == 0.0:
+        return 0.0
+    squares = sum(v * v for v in values)
+    return total * total / (len(values) * squares)
+
+
+def max_min_ratio(allocations: Sequence[float]) -> float:
+    """max/min allocation ratio (1.0 = equal); inf when a flow starves."""
+    values = [float(v) for v in allocations]
+    if not values:
+        return 1.0
+    low = min(values)
+    high = max(values)
+    if low <= 0.0:
+        return float("inf") if high > 0 else 1.0
+    return high / low

@@ -1,0 +1,132 @@
+"""Sequence-graph machinery (Figures 2, 7a, 8a, 9, 11).
+
+The paper's sequence graphs average "results across thousands of
+optical weeks": for each week after a warm-up, the within-week progress
+curve ``seq(t0 + tau) - seq(t0)`` is sampled on a common grid and
+averaged. To plot several consecutive weeks (the figures show ~3), the
+averaged one-week curve is tiled with the mean weekly progress as the
+offset.
+
+The analytic ``optimal`` and ``packet only`` reference curves integrate
+the schedule's rate profile directly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.rdcn.schedule import TDNSchedule
+
+
+def step_interpolate(
+    times: np.ndarray, values: np.ndarray, grid: np.ndarray, initial: float = 0.0
+) -> np.ndarray:
+    """Previous-value (step) interpolation of a step series onto a grid.
+
+    Queue lengths and rcv_nxt are right-continuous step functions; the
+    value at grid point g is the sample at the latest time <= g.
+    """
+    if len(times) == 0:
+        return np.full(len(grid), initial, dtype=float)
+    idx = np.searchsorted(times, grid, side="right") - 1
+    out = np.where(idx >= 0, values[np.clip(idx, 0, None)], initial)
+    return out.astype(float)
+
+
+def fold_series_by_week(
+    samples: Sequence[Tuple[int, float]],
+    week_ns: int,
+    total_weeks: int,
+    warmup_weeks: int = 2,
+    grid_points: int = 400,
+    cumulative: bool = True,
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Average a step series across weeks.
+
+    Returns ``(grid_ns, mean_curve, mean_week_progress)``:
+
+    * for ``cumulative`` series (sequence numbers), each week's curve is
+      re-based to zero at the week start, so ``mean_curve[j]`` is the
+      average progress ``tau = grid_ns[j]`` into a week and
+      ``mean_week_progress`` is the average total progress per week;
+    * for level series (queue occupancy), values are averaged as-is and
+      ``mean_week_progress`` is 0.
+    """
+    if total_weeks <= warmup_weeks:
+        raise ValueError("need at least one week after warm-up")
+    times = np.asarray([t for t, _v in samples], dtype=np.int64)
+    values = np.asarray([v for _t, v in samples], dtype=float)
+    grid = np.linspace(0, week_ns, grid_points, endpoint=False).astype(np.int64)
+    curves = []
+    progresses = []
+    for week in range(warmup_weeks, total_weeks):
+        start = week * week_ns
+        week_grid = grid + start
+        curve = step_interpolate(times, values, week_grid)
+        if cumulative:
+            base = step_interpolate(times, values, np.asarray([start]))[0]
+            end = step_interpolate(times, values, np.asarray([start + week_ns]))[0]
+            curve = curve - base
+            progresses.append(end - base)
+        curves.append(curve)
+    mean_curve = np.mean(np.asarray(curves), axis=0)
+    mean_progress = float(np.mean(progresses)) if progresses else 0.0
+    return grid, mean_curve, mean_progress
+
+
+def tile_weeks(
+    grid_ns: np.ndarray,
+    mean_curve: np.ndarray,
+    mean_week_progress: float,
+    week_ns: int,
+    n_weeks: int = 3,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Tile an averaged one-week curve over ``n_weeks`` for plotting."""
+    times = []
+    values = []
+    for week in range(n_weeks):
+        times.append(grid_ns + week * week_ns)
+        values.append(mean_curve + week * mean_week_progress)
+    return np.concatenate(times), np.concatenate(values)
+
+
+def optimal_curve(
+    schedule: TDNSchedule,
+    rates_bps: Sequence[float],
+    n_weeks: int = 3,
+    grid_points_per_week: int = 400,
+    night_rate_bps: float = 0.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The paper's 'optimal' line: an idealized TCP that fully uses the
+    active TDN's bottleneck bandwidth, and nothing during nights."""
+    pieces = schedule.rate_profile(list(rates_bps))
+    grid = np.linspace(
+        0, n_weeks * schedule.week_ns, n_weeks * grid_points_per_week, endpoint=False
+    )
+    # Cumulative bytes at each phase boundary of one week.
+    week_bytes = 0.0
+    boundaries = []  # (phase_start, cumulative_bytes_at_start, rate)
+    for start, end, rate in pieces:
+        effective = rate if rate > 0 else night_rate_bps
+        boundaries.append((start, week_bytes, effective))
+        week_bytes += effective / 8.0 * (end - start) / 1e9
+    times = np.asarray(grid, dtype=np.int64)
+    out = np.empty(len(times), dtype=float)
+    starts = np.asarray([b[0] for b in boundaries], dtype=np.int64)
+    for i, t in enumerate(times):
+        week, phase = divmod(int(t), schedule.week_ns)
+        j = int(np.searchsorted(starts, phase, side="right") - 1)
+        start, cum, rate = boundaries[j]
+        out[i] = week * week_bytes + cum + rate / 8.0 * (phase - start) / 1e9
+    return times, out
+
+
+def constant_rate_curve(
+    rate_bps: float, duration_ns: int, grid_points: int = 1200
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The 'packet only' line: a constant-slope reference that never
+    experiences reconfiguration blackouts."""
+    times = np.linspace(0, duration_ns, grid_points, endpoint=False)
+    return times.astype(np.int64), rate_bps / 8.0 * times / 1e9

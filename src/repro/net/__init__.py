@@ -1,0 +1,29 @@
+"""Network substrate: packets, links, queues, hosts, and switches."""
+
+from repro.net.addressing import FlowKey, flow_key_of, reverse_flow_key
+from repro.net.packet import Packet, TCPSegment, TDNNotification
+from repro.net.link import Link
+from repro.net.queues import DropTailQueue, ECNMarkingQueue
+from repro.net.node import Host, PacketHandler
+from repro.net.switch import EPSSwitch, ToRSwitch
+from repro.net.capture import PacketCapture, dissect
+from repro.net.pcap import write_pcap
+
+__all__ = [
+    "PacketCapture",
+    "dissect",
+    "write_pcap",
+    "FlowKey",
+    "flow_key_of",
+    "reverse_flow_key",
+    "Packet",
+    "TCPSegment",
+    "TDNNotification",
+    "Link",
+    "DropTailQueue",
+    "ECNMarkingQueue",
+    "Host",
+    "PacketHandler",
+    "EPSSwitch",
+    "ToRSwitch",
+]

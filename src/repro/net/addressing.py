@@ -1,0 +1,55 @@
+"""Addressing: host addresses and flow identification.
+
+Hosts are addressed by strings like ``"r0h3"`` (rack 0, host 3) produced
+by :func:`host_address`. A flow is a classic 4-tuple; :class:`FlowKey`
+is the hashable demux key connections register under.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.net.packet import TCPSegment
+
+
+class FlowKey(NamedTuple):
+    """Demux key from the point of view of the *local* endpoint."""
+
+    local_addr: str
+    local_port: int
+    remote_addr: str
+    remote_port: int
+
+
+def host_address(rack: int, host: int) -> str:
+    """Canonical address for host ``host`` in rack ``rack``."""
+    return f"r{rack}h{host}"
+
+
+def rack_of(address: str) -> int:
+    """Rack index encoded in a host address.
+
+    >>> rack_of("r1h7")
+    1
+    """
+    if not address.startswith("r") or "h" not in address:
+        raise ValueError(f"not a host address: {address!r}")
+    return int(address[1:address.index("h")])
+
+
+def host_index_of(address: str) -> int:
+    """Host index within its rack encoded in an address."""
+    if "h" not in address:
+        raise ValueError(f"not a host address: {address!r}")
+    return int(address[address.index("h") + 1:])
+
+
+def flow_key_of(segment: "TCPSegment") -> FlowKey:
+    """The :class:`FlowKey` a *receiving* host demuxes this segment to."""
+    return FlowKey(segment.dst, segment.dport, segment.src, segment.sport)
+
+
+def reverse_flow_key(key: FlowKey) -> FlowKey:
+    """The peer's view of the same flow."""
+    return FlowKey(key.remote_addr, key.remote_port, key.local_addr, key.local_port)

@@ -1,0 +1,87 @@
+"""Point-to-point links.
+
+A :class:`Link` is unidirectional: it serializes packets one at a time at
+``rate_bps``, then delivers them ``prop_delay_ns`` later to a handler.
+An optional bounded FIFO absorbs bursts; when it overflows, packets are
+dropped (and flagged, so loss accounting sees ground truth).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.net.packet import Packet
+from repro.sim.simulator import Simulator
+from repro.units import serialization_delay_ns
+
+
+class Link:
+    """Unidirectional serializing link with an internal FIFO.
+
+    ``deliver`` is called with each packet after serialization plus
+    propagation. ``queue_capacity`` of None means unbounded (used for
+    host access links where the sender is already window-limited).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: float,
+        prop_delay_ns: int,
+        deliver: Callable[[Packet], None],
+        queue_capacity: Optional[int] = None,
+        name: str = "link",
+    ):
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        if prop_delay_ns < 0:
+            raise ValueError("propagation delay cannot be negative")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.prop_delay_ns = prop_delay_ns
+        self.deliver = deliver
+        self.queue_capacity = queue_capacity
+        self.name = name
+        self._fifo: deque[Packet] = deque()
+        self._busy = False
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.drops = 0
+        self.queued_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    def send(self, packet: Packet) -> bool:
+        """Enqueue a packet for transmission. Returns False on drop."""
+        if self.queue_capacity is not None and len(self._fifo) >= self.queue_capacity:
+            packet.dropped = True
+            self.drops += 1
+            return False
+        self._fifo.append(packet)
+        self.queued_bytes += packet.size
+        if not self._busy:
+            self._start_next()
+        return True
+
+    def backlog_ns(self) -> int:
+        """Drain time of the bytes currently waiting on this link —
+        what anything sharing the interface must sit behind."""
+        return serialization_delay_ns(self.queued_bytes, self.rate_bps)
+
+    def _start_next(self) -> None:
+        if not self._fifo:
+            self._busy = False
+            return
+        self._busy = True
+        packet = self._fifo.popleft()
+        self.queued_bytes -= packet.size
+        tx_delay = serialization_delay_ns(packet.size, self.rate_bps)
+        self.tx_packets += 1
+        self.tx_bytes += packet.size
+        self.sim.schedule(tx_delay, self._tx_done, packet)
+
+    def _tx_done(self, packet: Packet) -> None:
+        self.sim.schedule(self.prop_delay_ns, self.deliver, packet)
+        self._start_next()

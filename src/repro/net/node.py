@@ -1,0 +1,94 @@
+"""Hosts: endpoints that run transport connections.
+
+A :class:`Host` owns an egress link toward its ToR, demuxes incoming
+TCP segments to registered connections, and fans TDN-change
+notifications out to subscribed listeners (TDTCP/reTCP stacks).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Protocol
+
+from repro.net.addressing import FlowKey, flow_key_of
+from repro.net.link import Link
+from repro.net.packet import Packet, TCPSegment, TDNNotification
+from repro.sim.simulator import Simulator
+
+
+class PacketHandler(Protocol):
+    """Anything that can receive a packet (connections implement this)."""
+
+    def receive(self, packet: Packet) -> None: ...
+
+
+class Host:
+    """An end host attached to a ToR switch."""
+
+    def __init__(self, sim: Simulator, address: str):
+        self.sim = sim
+        self.address = address
+        self.egress: Optional[Link] = None
+        self._connections: Dict[FlowKey, PacketHandler] = {}
+        self._tdn_listeners: List[Callable[[TDNNotification], None]] = []
+        self._next_port = 10_000
+        self.rx_packets = 0
+        self.tx_packets = 0
+        # §5.4 host-side notification processing cost model: a per-host
+        # delay applied to every notification before listeners see it.
+        # The push/pull optimization in the notifier manipulates this.
+        self.notification_processing_ns = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach_egress(self, link: Link) -> None:
+        """Connect the host's NIC to its ToR via ``link``."""
+        self.egress = link
+
+    def allocate_port(self) -> int:
+        port = self._next_port
+        self._next_port += 1
+        return port
+
+    def register_connection(self, key: FlowKey, handler: PacketHandler) -> None:
+        if key in self._connections:
+            raise ValueError(f"flow already registered: {key}")
+        self._connections[key] = handler
+
+    def unregister_connection(self, key: FlowKey) -> None:
+        self._connections.pop(key, None)
+
+    def subscribe_tdn_changes(self, callback: Callable[[TDNNotification], None]) -> None:
+        """Subscribe to ICMP TDN-change notifications delivered to this host."""
+        self._tdn_listeners.append(callback)
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> None:
+        """Transmit a packet toward the fabric via the access link."""
+        if self.egress is None:
+            raise RuntimeError(f"host {self.address} has no egress link")
+        self.tx_packets += 1
+        self.egress.send(packet)
+
+    def deliver(self, packet: Packet) -> None:
+        """Entry point for packets arriving from the ToR."""
+        self.rx_packets += 1
+        if isinstance(packet, TDNNotification):
+            if self.notification_processing_ns > 0:
+                self.sim.schedule(self.notification_processing_ns, self._dispatch_notification, packet)
+            else:
+                self._dispatch_notification(packet)
+            return
+        if isinstance(packet, TCPSegment):
+            handler = self._connections.get(flow_key_of(packet))
+            if handler is not None:
+                handler.receive(packet)
+            # Unmatched segments are dropped silently (no RST modelling).
+            return
+        # Opaque packets (background traffic) are sinks.
+
+    def _dispatch_notification(self, notification: TDNNotification) -> None:
+        for listener in self._tdn_listeners:
+            listener(notification)

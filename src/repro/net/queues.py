@@ -1,0 +1,90 @@
+"""Queues: drop-tail with runtime-resizable capacity and ECN marking.
+
+The ToR virtual output queue (VOQ) in the paper is a 16-packet drop-tail
+queue; ``retcpdyn`` resizes it to 50 packets ahead of the circuit day.
+DCTCP needs CE marking above a threshold K. Both behaviours live here so
+the fabric code stays small.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.net.packet import Packet
+
+
+class DropTailQueue:
+    """A bounded FIFO in packets with runtime-resizable capacity.
+
+    Resizing smaller does not evict already-queued packets (matching how
+    switch buffer carving behaves); it only affects future enqueues.
+    """
+
+    def __init__(self, capacity: int, name: str = "queue"):
+        if capacity <= 0:
+            raise ValueError("queue capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self._fifo: deque[Packet] = deque()
+        self.drops = 0
+        self.enqueued = 0
+        self.max_occupancy = 0
+        # Optional observer called as fn(length) after every length change.
+        self.on_length_change: Optional[Callable[[int], None]] = None
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    def resize(self, capacity: int) -> None:
+        """Change capacity at runtime (used by the reTCP-dyn controller)."""
+        if capacity <= 0:
+            raise ValueError("queue capacity must be positive")
+        self.capacity = capacity
+
+    def push(self, packet: Packet, now: int) -> bool:
+        """Enqueue; returns False (and flags the packet) on overflow."""
+        if len(self._fifo) >= self.capacity:
+            packet.dropped = True
+            self.drops += 1
+            return False
+        packet.enqueued_ns = now
+        self._mark(packet)
+        self._fifo.append(packet)
+        self.enqueued += 1
+        if len(self._fifo) > self.max_occupancy:
+            self.max_occupancy = len(self._fifo)
+        if self.on_length_change is not None:
+            self.on_length_change(len(self._fifo))
+        return True
+
+    def pop(self) -> Optional[Packet]:
+        if not self._fifo:
+            return None
+        packet = self._fifo.popleft()
+        if self.on_length_change is not None:
+            self.on_length_change(len(self._fifo))
+        return packet
+
+    def peek(self) -> Optional[Packet]:
+        return self._fifo[0] if self._fifo else None
+
+    def _mark(self, packet: Packet) -> None:
+        """Hook for subclasses (ECN). Called before enqueue."""
+
+
+class ECNMarkingQueue(DropTailQueue):
+    """Drop-tail queue that CE-marks ECN-capable packets when the
+    instantaneous occupancy is at or above threshold K (DCTCP-style)."""
+
+    def __init__(self, capacity: int, mark_threshold: int, name: str = "ecn-queue"):
+        super().__init__(capacity, name)
+        if mark_threshold <= 0:
+            raise ValueError("mark threshold must be positive")
+        self.mark_threshold = mark_threshold
+        self.marks = 0
+
+    def _mark(self, packet: Packet) -> None:
+        if packet.ecn_capable and len(self._fifo) >= self.mark_threshold:
+            packet.ce = True
+            self.marks += 1

@@ -1,0 +1,101 @@
+"""Switches.
+
+:class:`ToRSwitch` is the top-of-rack switch of Figure 1/6: it forwards
+rack-local traffic straight down the destination host's access link, and
+cross-rack traffic into a time-multiplexed uplink (the RDCN fabric,
+provided by :mod:`repro.rdcn.fabric`). The ToR is also the entity that
+generates TDN-change notifications (wired up by the notifier).
+
+:class:`EPSSwitch` is a plain store-and-forward electrical packet switch
+used by unit tests and non-RDCN examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol
+
+from repro.net.addressing import rack_of
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.sim.simulator import Simulator
+
+
+class Uplink(Protocol):
+    """What a ToR needs from its fabric uplink."""
+
+    def enqueue(self, packet: Packet) -> bool: ...
+
+
+class EPSSwitch:
+    """Store-and-forward packet switch with a static routing table."""
+
+    def __init__(self, sim: Simulator, name: str = "eps"):
+        self.sim = sim
+        self.name = name
+        self._routes: Dict[str, Link] = {}
+        self.forwarded = 0
+
+    def add_route(self, dst_addr: str, link: Link) -> None:
+        self._routes[dst_addr] = link
+
+    def forward(self, packet: Packet) -> None:
+        link = self._routes.get(packet.dst)
+        if link is None:
+            raise KeyError(f"{self.name}: no route to {packet.dst}")
+        self.forwarded += 1
+        link.send(packet)
+
+
+class ToRSwitch:
+    """Top-of-rack switch: local delivery plus one fabric uplink per
+    remote rack (this reproduction uses the paper's two-rack topology,
+    so there is a single remote rack, but the structure generalizes)."""
+
+    def __init__(self, sim: Simulator, rack: int, name: Optional[str] = None):
+        self.sim = sim
+        self.rack = rack
+        self.name = name or f"tor{rack}"
+        self._downlinks: Dict[str, Link] = {}
+        self._uplinks: Dict[int, Uplink] = {}
+        self.forwarded_local = 0
+        self.forwarded_fabric = 0
+
+    def add_downlink(self, host_addr: str, link: Link) -> None:
+        if rack_of(host_addr) != self.rack:
+            raise ValueError(f"{host_addr} is not in rack {self.rack}")
+        self._downlinks[host_addr] = link
+
+    def add_uplink(self, remote_rack: int, uplink: Uplink) -> None:
+        self._uplinks[remote_rack] = uplink
+
+    @property
+    def host_addresses(self) -> tuple:
+        return tuple(sorted(self._downlinks))
+
+    def forward(self, packet: Packet) -> None:
+        """Forward a packet from a local host or from the fabric."""
+        dst_rack = rack_of(packet.dst)
+        if dst_rack == self.rack:
+            link = self._downlinks.get(packet.dst)
+            if link is None:
+                raise KeyError(f"{self.name}: unknown local host {packet.dst}")
+            self.forwarded_local += 1
+            link.send(packet)
+            return
+        uplink = self._uplinks.get(dst_rack)
+        if uplink is None:
+            raise KeyError(f"{self.name}: no uplink toward rack {dst_rack}")
+        self.forwarded_fabric += 1
+        uplink.enqueue(packet)
+
+    def deliver_local(self, packet: Packet) -> None:
+        """Entry point for packets arriving from the fabric."""
+        self.forward(packet)
+
+    def broadcast_to_hosts(self, make_packet) -> None:
+        """Send ``make_packet(host_addr)`` down every host access link.
+
+        Used by the notifier to fan TDN-change ICMPs out to the rack.
+        """
+        for addr, link in self._downlinks.items():
+            link.send(make_packet(addr))

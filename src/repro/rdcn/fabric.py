@@ -1,0 +1,114 @@
+"""The time-multiplexed rack-to-rack fabric.
+
+Each ToR has one :class:`RackUplink` per remote rack: a VOQ drained by
+whichever network (TDN) is currently active. During a night the VOQ is
+gated — nothing is dequeued — which is exactly Etalon's reconfiguration
+blackout. Packets already serialized onto the wire when a night begins
+continue to their destination (they are physically in flight).
+
+The uplink stamps each dequeued packet with the network that carried it
+(``packet.network_id``) and applies the reTCP circuit mark when the
+carrying network is marked as a circuit (§6, reTCP's switch support).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.net.packet import Packet, TCPSegment
+from repro.net.queues import DropTailQueue
+from repro.sim.simulator import Simulator
+from repro.units import serialization_delay_ns
+
+
+@dataclass(frozen=True)
+class NetworkPath:
+    """Physical characteristics of one TDN's network."""
+
+    tdn_id: int
+    rate_bps: float
+    one_way_delay_ns: int
+    is_circuit: bool = False
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0:
+            raise ValueError("path rate must be positive")
+        if self.one_way_delay_ns < 0:
+            raise ValueError("path delay cannot be negative")
+
+
+class RackUplink:
+    """One direction of the cross-rack fabric: VOQ + active-path server.
+
+    ``deliver`` receives packets at the remote ToR after serialization
+    at the active path's rate plus that path's one-way delay.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        paths: Dict[int, NetworkPath],
+        queue: DropTailQueue,
+        deliver: Callable[[Packet], None],
+        name: str = "uplink",
+    ):
+        if not paths:
+            raise ValueError("uplink needs at least one network path")
+        self.sim = sim
+        self.paths = paths
+        self.queue = queue
+        self.deliver = deliver
+        self.name = name
+        self.active_tdn: Optional[int] = None
+        self._busy = False
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.per_tdn_tx: Dict[int, int] = {tdn: 0 for tdn in paths}
+
+    # ------------------------------------------------------------------
+    # Schedule hooks
+    # ------------------------------------------------------------------
+    def set_active(self, tdn_id: Optional[int]) -> None:
+        """Switch the active network (None = night blackout)."""
+        if tdn_id is not None and tdn_id not in self.paths:
+            raise KeyError(f"{self.name}: unknown TDN {tdn_id}")
+        self.active_tdn = tdn_id
+        if tdn_id is not None:
+            self._serve()
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def enqueue(self, packet: Packet) -> bool:
+        """Called by the ToR; returns False if the VOQ dropped it."""
+        accepted = self.queue.push(packet, self.sim.now)
+        if accepted:
+            self._serve()
+        return accepted
+
+    def _serve(self) -> None:
+        if self._busy or self.active_tdn is None:
+            return
+        packet = self.queue.pop()
+        if packet is None:
+            return
+        path = self.paths[self.active_tdn]
+        packet.network_id = path.tdn_id
+        if path.is_circuit and isinstance(packet, TCPSegment):
+            packet.circuit_mark = True
+        self._busy = True
+        self.tx_packets += 1
+        self.tx_bytes += packet.size
+        self.per_tdn_tx[path.tdn_id] += 1
+        tx_delay = serialization_delay_ns(packet.size, path.rate_bps)
+        self.sim.schedule(tx_delay, self._tx_done, packet, path)
+
+    def _tx_done(self, packet: Packet, path: NetworkPath) -> None:
+        # The packet is on the wire: it arrives even if a night started
+        # mid-serialization.
+        self.sim.schedule(path.one_way_delay_ns, self.deliver, packet)
+        self._busy = False
+        if self.active_tdn is not None:
+            self._serve()

@@ -1,0 +1,306 @@
+"""An OCS-only rotor fabric with two-hop indirection (§6, RotorNet [30]
+and Opera [29]).
+
+"OCS-only RDCNs do not include a separate packet network; instead, ToRs
+with no direct connectivity send traffic through transit ToRs or hold
+traffic until direct connectivity is restored."
+
+Model: ``n_racks`` ToRs cycle through the round-robin matchings of
+:mod:`repro.rdcn.rotor`. During a slot a ToR has exactly one circuit —
+to its matching partner — on which it sends, in priority order:
+
+1. *direct* traffic destined to the partner's rack;
+2. *transit* traffic it previously accepted on behalf of other racks
+   (now deliverable directly, since transit packets are only ever
+   relayed once);
+3. when ``two_hop`` is enabled, *indirect* traffic for other racks,
+   which the partner stores and forwards when it is matched to the
+   destination (RotorNet's Valiant-style load balancing).
+
+Latency to a fixed destination therefore swings between "direct this
+slot" and "store-and-forward across slots" — the drastic variation that
+motivates treating each configuration as its own TDN. Hosts receive the
+current matching index as the TDN ID, so a TDTCP connection on this
+fabric keeps one state set per matching (``n_racks - 1`` TDNs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.net.addressing import host_address, rack_of
+from repro.net.link import Link
+from repro.net.node import Host
+from repro.net.packet import Packet, TDNNotification
+from repro.net.queues import DropTailQueue
+from repro.rdcn.rotor import round_robin_matchings
+from repro.sim.simulator import Simulator
+from repro.units import gbps, serialization_delay_ns, usec
+
+
+@dataclass
+class OperaConfig:
+    """Configuration of the OCS-only fabric."""
+
+    n_racks: int = 4
+    n_hosts_per_rack: int = 2
+    mss: int = 1_500
+    link_rate_bps: float = gbps(25)
+    one_way_delay_ns: int = usec(5)
+    host_link_rate_bps: float = gbps(12.5)
+    host_link_delay_ns: int = usec(1)
+    slot_ns: int = usec(180)
+    night_ns: int = usec(20)
+    voq_capacity: int = 96          # per destination rack
+    two_hop: bool = True
+    notification_delay_ns: int = usec(1)
+    # "rotor": the fixed demand-oblivious round-robin cycle.
+    # "demand-aware" (§6, Helios/ProjecToR class): each slot, a greedy
+    # max-weight matching over current VOQ backlogs, with an aging bonus
+    # so idle pairs are not starved. Hosts are then notified with their
+    # rack's *partner id* as the TDN ID (the configuration space is no
+    # longer a fixed cycle).
+    matching_policy: str = "rotor"
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_racks < 2 or self.n_racks % 2:
+            raise ValueError("OCS-only fabric needs an even rack count >= 2")
+        if self.n_hosts_per_rack < 1:
+            raise ValueError("need at least one host per rack")
+        if self.matching_policy not in ("rotor", "demand-aware"):
+            raise ValueError(f"unknown matching policy {self.matching_policy!r}")
+
+    @property
+    def n_slots(self) -> int:
+        return self.n_racks - 1
+
+    @property
+    def cycle_ns(self) -> int:
+        """One full rotor cycle (the 'week')."""
+        return self.n_slots * (self.slot_ns + self.night_ns)
+
+
+class OperaToR:
+    """A ToR on the rotor fabric: per-destination VOQs and one circuit."""
+
+    def __init__(self, sim: Simulator, rack: int, config: OperaConfig):
+        self.sim = sim
+        self.rack = rack
+        self.config = config
+        self.name = f"opera-tor{rack}"
+        self._downlinks: Dict[str, Link] = {}
+        self.voqs: Dict[int, DropTailQueue] = {
+            dst: DropTailQueue(config.voq_capacity, name=f"{self.name}-voq{dst}")
+            for dst in range(config.n_racks)
+            if dst != rack
+        }
+        self.partner: Optional[int] = None
+        self.peers: Dict[int, "OperaToR"] = {}
+        self._busy = False
+        self.direct_tx = 0
+        self.transit_tx = 0
+        self.relayed_rx = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def add_downlink(self, host_addr: str, link: Link) -> None:
+        self._downlinks[host_addr] = link
+
+    # ------------------------------------------------------------------
+    # Schedule hooks
+    # ------------------------------------------------------------------
+    def set_partner(self, partner: Optional[int]) -> None:
+        """Slot start (a rack index) or night start (None)."""
+        self.partner = partner
+        if partner is not None:
+            self._serve()
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def forward(self, packet: Packet) -> None:
+        """Entry from local hosts or from the fabric."""
+        dst_rack = rack_of(packet.dst)
+        if dst_rack == self.rack:
+            link = self._downlinks.get(packet.dst)
+            if link is None:
+                raise KeyError(f"{self.name}: unknown local host {packet.dst}")
+            link.send(packet)
+            return
+        self.voqs[dst_rack].push(packet, self.sim.now)
+        self._serve()
+
+    def receive_from_fabric(self, packet: Packet) -> None:
+        dst_rack = rack_of(packet.dst)
+        if dst_rack == self.rack:
+            self.forward(packet)
+            return
+        # Transit: hold for the destination; deliverable when matched.
+        self.relayed_rx += 1
+        packet.relayed = True
+        self.voqs[dst_rack].push(packet, self.sim.now)
+        self._serve()
+
+    def _next_packet(self) -> Optional[Packet]:
+        """Priority: direct + previously-accepted transit for the
+        partner, then (two-hop) fresh indirection for other racks."""
+        assert self.partner is not None
+        direct = self.voqs[self.partner]
+        packet = direct.pop()
+        if packet is not None:
+            self.direct_tx += 1
+            return packet
+        if not self.config.two_hop:
+            return None
+        # Offer indirection: pick the longest other queue whose head
+        # has not been relayed yet (one indirection hop max).
+        candidates = [
+            queue for dst, queue in self.voqs.items()
+            if dst != self.partner and len(queue) > 0
+            and queue.peek() is not None and not queue.peek().relayed
+        ]
+        if not candidates:
+            return None
+        queue = max(candidates, key=len)
+        packet = queue.pop()
+        self.transit_tx += 1
+        return packet
+
+    def _serve(self) -> None:
+        if self._busy or self.partner is None:
+            return
+        packet = self._next_packet()
+        if packet is None:
+            return
+        self._busy = True
+        tx_delay = serialization_delay_ns(packet.size, self.config.link_rate_bps)
+        self.sim.schedule(tx_delay, self._tx_done, packet, self.partner)
+
+    def _tx_done(self, packet: Packet, partner: int) -> None:
+        peer = self.peers[partner]
+        self.sim.schedule(
+            self.config.one_way_delay_ns, peer.receive_from_fabric, packet
+        )
+        self._busy = False
+        if self.partner is not None:
+            self._serve()
+
+
+@dataclass
+class OperaTestbed:
+    """The assembled OCS-only fabric."""
+
+    sim: Simulator
+    config: OperaConfig
+    matchings: List[List[tuple]]
+    tors: Dict[int, OperaToR] = field(default_factory=dict)
+    hosts: Dict[int, List[Host]] = field(default_factory=dict)
+    slot_index: int = 0
+    # Demand-aware state: slots since each pair was last served.
+    pair_age: Dict[tuple, int] = field(default_factory=dict)
+    chosen_matchings: List[List[tuple]] = field(default_factory=list)
+
+    def host(self, rack: int, index: int) -> Host:
+        return self.hosts[rack][index]
+
+    def start(self) -> None:
+        """Begin cycling the fabric from the current simulation time."""
+        if self.config.matching_policy == "demand-aware":
+            n = self.config.n_racks
+            self.pair_age = {
+                (a, b): 0 for a in range(n) for b in range(a + 1, n)
+            }
+        self._begin_slot(0)
+
+    # ------------------------------------------------------------------
+    def _pair_backlog(self, rack_a: int, rack_b: int) -> int:
+        return len(self.tors[rack_a].voqs[rack_b]) + len(self.tors[rack_b].voqs[rack_a])
+
+    def _demand_aware_matching(self) -> List[tuple]:
+        """Greedy max-weight matching: backlog plus an aging bonus (so
+        all-to-all connectivity is still eventually provided)."""
+        weights = {
+            pair: self._pair_backlog(*pair) + self.pair_age[pair]
+            for pair in self.pair_age
+        }
+        matched: set = set()
+        matching: List[tuple] = []
+        for pair, _weight in sorted(weights.items(), key=lambda kv: -kv[1]):
+            rack_a, rack_b = pair
+            if rack_a in matched or rack_b in matched:
+                continue
+            matching.append(pair)
+            matched.add(rack_a)
+            matched.add(rack_b)
+        for pair in self.pair_age:
+            self.pair_age[pair] = 0 if pair in matching else self.pair_age[pair] + 1
+        return sorted(matching)
+
+    def _begin_slot(self, slot: int) -> None:
+        if self.config.matching_policy == "demand-aware":
+            matching = self._demand_aware_matching()
+            self.chosen_matchings.append(matching)
+        else:
+            self.slot_index = slot % len(self.matchings)
+            matching = self.matchings[self.slot_index]
+        for rack_a, rack_b in matching:
+            self.tors[rack_a].set_partner(rack_b)
+            self.tors[rack_b].set_partner(rack_a)
+        self._notify_hosts(matching, slot)
+        self.sim.schedule(self.config.slot_ns, self._begin_night, slot)
+
+    def _begin_night(self, slot: int) -> None:
+        for tor in self.tors.values():
+            tor.set_partner(None)
+        self.sim.schedule(self.config.night_ns, self._begin_slot, slot + 1)
+
+    def _notify_hosts(self, matching: List[tuple], slot: int) -> None:
+        """Rotor policy: the slot index is the TDN ID (a fixed cycle of
+        configurations). Demand-aware: there is no fixed cycle, so each
+        rack's hosts get their *partner's rack id* as the TDN ID —
+        'directly connected to rack p' is the recurring condition."""
+        partner_of: Dict[int, int] = {}
+        for rack_a, rack_b in matching:
+            partner_of[rack_a] = rack_b
+            partner_of[rack_b] = rack_a
+        for rack, rack_hosts in self.hosts.items():
+            if self.config.matching_policy == "demand-aware":
+                tdn_id = partner_of.get(rack)
+                if tdn_id is None:
+                    continue  # unmatched this slot (odd leftover)
+            else:
+                tdn_id = slot % len(self.matchings)
+            for host in rack_hosts:
+                note = TDNNotification(f"opera-tor{rack}", host.address, tdn_id, self.sim.now)
+                self.sim.schedule(self.config.notification_delay_ns, host.deliver, note)
+
+
+def build_opera_testbed(config: OperaConfig, sim: Optional[Simulator] = None) -> OperaTestbed:
+    """Construct the OCS-only rotor fabric."""
+    sim = sim or Simulator()
+    matchings = round_robin_matchings(config.n_racks)
+    testbed = OperaTestbed(sim=sim, config=config, matchings=matchings)
+    for rack in range(config.n_racks):
+        tor = OperaToR(sim, rack, config)
+        testbed.tors[rack] = tor
+        rack_hosts: List[Host] = []
+        for index in range(config.n_hosts_per_rack):
+            host = Host(sim, host_address(rack, index))
+            up = Link(
+                sim, config.host_link_rate_bps, config.host_link_delay_ns,
+                tor.forward, name=f"{host.address}-up",
+            )
+            down = Link(
+                sim, config.host_link_rate_bps, config.host_link_delay_ns,
+                lambda pkt, h=host: h.deliver(pkt), name=f"{host.address}-down",
+            )
+            host.attach_egress(up)
+            tor.add_downlink(host.address, down)
+            rack_hosts.append(host)
+        testbed.hosts[rack] = rack_hosts
+    for tor in testbed.tors.values():
+        tor.peers = testbed.tors
+    return testbed

@@ -1,0 +1,65 @@
+"""Demand-oblivious rotor schedules for N racks (§2.1, RotorNet-style).
+
+A rotor fabric cycles through a fixed set of *matchings* — perfect
+pairings of racks — such that over one week every rack pair is directly
+connected exactly once. :func:`round_robin_matchings` produces the
+classic circle-method tournament schedule; :func:`schedule_for_pair`
+projects the global schedule onto a single rack pair, yielding the
+day pattern a :class:`TDNSchedule` needs (the paper's 6:1 setting is
+exactly the 8-rack projection).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.rdcn.schedule import TDNSchedule
+
+Matching = List[Tuple[int, int]]
+
+
+def round_robin_matchings(n_racks: int) -> List[Matching]:
+    """The circle method: ``n_racks - 1`` perfect matchings covering
+    every pair exactly once. ``n_racks`` must be even and >= 2."""
+    if n_racks < 2 or n_racks % 2 != 0:
+        raise ValueError("rotor matchings need an even rack count >= 2")
+    fixed = n_racks - 1
+    rotating = list(range(n_racks - 1))
+    matchings: List[Matching] = []
+    for _round in range(n_racks - 1):
+        pairs: Matching = [(rotating[0], fixed)]
+        for k in range(1, n_racks // 2):
+            a = rotating[k]
+            b = rotating[-k]
+            pairs.append((min(a, b), max(a, b)))
+        matchings.append(sorted(pairs))
+        rotating = [rotating[-1]] + rotating[:-1]
+    return matchings
+
+
+def matching_index_for_pair(n_racks: int, rack_a: int, rack_b: int) -> int:
+    """Which configuration of the week directly connects the pair."""
+    if rack_a == rack_b:
+        raise ValueError("a rack is always connected to itself")
+    key = (min(rack_a, rack_b), max(rack_a, rack_b))
+    for index, matching in enumerate(round_robin_matchings(n_racks)):
+        if key in matching:
+            return index
+    raise LookupError(f"pair {key} not covered — impossible for a valid rotor")
+
+
+def schedule_for_pair(
+    n_racks: int,
+    rack_a: int,
+    rack_b: int,
+    day_ns: int,
+    night_ns: int,
+    optical_tdn: int = 1,
+) -> TDNSchedule:
+    """The TDN day pattern one rack pair observes over a rotor week:
+    the optical TDN in its matching's slot, the packet network (TDN 0)
+    in every other slot."""
+    slot = matching_index_for_pair(n_racks, rack_a, rack_b)
+    pattern = [0] * (n_racks - 1)
+    pattern[slot] = optical_tdn
+    return TDNSchedule.uniform(pattern, day_ns, night_ns)

@@ -1,0 +1,220 @@
+"""TDN schedules: days, nights, and weeks (§2.1).
+
+A schedule is a cyclic sequence of *days* — each assigning one TDN to
+the rack pair — separated by *nights* (reconfiguration blackouts during
+which the fabric forwards nothing). The full cycle is a *week*.
+
+:func:`pair_schedule` builds the demand-oblivious rotor view for one
+rack pair in an ``n_racks`` fabric: the pair is directly connected by
+the OCS in 1 of every ``n_racks - 1`` configurations and uses the packet
+network otherwise, which for 8 racks gives the paper's 6:1 ratio.
+
+:class:`ScheduleDriver` replays the schedule on a simulator and invokes
+subscriber callbacks at day starts, day ends, and configurable lead
+times before day starts (used by the reTCP-dyn buffer controller).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.sim.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class Day:
+    """One schedule entry: ``tdn_id`` active for ``duration_ns``,
+    followed by a ``night_ns`` blackout."""
+
+    tdn_id: int
+    duration_ns: int
+    night_ns: int
+
+    def __post_init__(self) -> None:
+        if self.tdn_id < 0:
+            raise ValueError("TDN id must be non-negative")
+        if self.duration_ns <= 0:
+            raise ValueError("day duration must be positive")
+        if self.night_ns < 0:
+            raise ValueError("night duration cannot be negative")
+
+
+class TDNSchedule:
+    """A cyclic week of days.
+
+    Time 0 is the start of the first day. ``active_at(t)`` answers which
+    TDN is up at absolute time ``t`` (None during a night).
+    """
+
+    def __init__(self, days: Sequence[Day]):
+        if not days:
+            raise ValueError("schedule needs at least one day")
+        self.days: Tuple[Day, ...] = tuple(days)
+        self._offsets: List[int] = []
+        offset = 0
+        for day in self.days:
+            self._offsets.append(offset)
+            offset += day.duration_ns + day.night_ns
+        self.week_ns = offset
+
+    @classmethod
+    def uniform(cls, pattern: Sequence[int], day_ns: int, night_ns: int) -> "TDNSchedule":
+        """All days equal length — the paper's configuration."""
+        return cls([Day(tdn, day_ns, night_ns) for tdn in pattern])
+
+    @property
+    def n_tdns(self) -> int:
+        return max(day.tdn_id for day in self.days) + 1
+
+    def tdn_fraction(self, tdn_id: int) -> float:
+        """Fraction of the week during which ``tdn_id`` is active."""
+        up = sum(day.duration_ns for day in self.days if day.tdn_id == tdn_id)
+        return up / self.week_ns
+
+    def active_at(self, time_ns: int) -> Optional[int]:
+        """TDN active at absolute time, or None during a night."""
+        if time_ns < 0:
+            raise ValueError("time must be non-negative")
+        phase = time_ns % self.week_ns
+        for offset, day in zip(self._offsets, self.days):
+            if phase < offset:
+                break
+            if phase < offset + day.duration_ns:
+                return day.tdn_id
+            if phase < offset + day.duration_ns + day.night_ns:
+                return None
+        return None
+
+    def day_starts_in_week(self, tdn_id: Optional[int] = None) -> List[int]:
+        """Phase offsets (within one week) at which days start; filter by
+        TDN id when given."""
+        return [
+            offset
+            for offset, day in zip(self._offsets, self.days)
+            if tdn_id is None or day.tdn_id == tdn_id
+        ]
+
+    def transitions_in_week(self) -> List[Tuple[int, Optional[int]]]:
+        """(phase, new_state) transitions over one week; new_state is a
+        TDN id at day start and None at night start."""
+        transitions: List[Tuple[int, Optional[int]]] = []
+        for offset, day in zip(self._offsets, self.days):
+            transitions.append((offset, day.tdn_id))
+            if day.night_ns > 0:
+                transitions.append((offset + day.duration_ns, None))
+        return transitions
+
+    def rate_profile(self, rates_bps: Sequence[float]) -> List[Tuple[int, int, float]]:
+        """(phase_start, phase_end, rate) pieces over one week, with rate
+        0 during nights. Used by the analytic optimal curve."""
+        pieces: List[Tuple[int, int, float]] = []
+        for offset, day in zip(self._offsets, self.days):
+            end = offset + day.duration_ns
+            pieces.append((offset, end, rates_bps[day.tdn_id]))
+            if day.night_ns > 0:
+                pieces.append((end, end + day.night_ns, 0.0))
+        return pieces
+
+
+def pair_schedule(n_racks: int, day_ns: int, night_ns: int, optical_tdn: int = 1) -> TDNSchedule:
+    """Demand-oblivious rotor schedule as seen by one rack pair.
+
+    An ``n_racks`` rotor fabric cycles through ``n_racks - 1`` matchings;
+    a given pair is directly connected in exactly one of them and falls
+    back to the packet network (TDN 0) in the others.
+    """
+    if n_racks < 2:
+        raise ValueError("need at least two racks")
+    pattern = [0] * (n_racks - 2) + [optical_tdn]
+    return TDNSchedule.uniform(pattern, day_ns, night_ns)
+
+
+class ScheduleDriver:
+    """Replays a :class:`TDNSchedule` on the simulator.
+
+    Subscribers:
+
+    * ``on_day_start(fn)`` — ``fn(tdn_id, day_index)`` when a day begins.
+    * ``on_night_start(fn)`` — ``fn(day_index)`` when a blackout begins.
+    * ``on_day_lead(lead_ns, fn, tdn_id)`` — ``fn(tdn_id, day_index)``
+      fired ``lead_ns`` before each start of a ``tdn_id`` day (advance
+      notice for the reTCP-dyn buffer controller). Lead callbacks for
+      the first week fire only for days whose lead time is >= 0.
+    """
+
+    def __init__(self, sim: Simulator, schedule: TDNSchedule):
+        self.sim = sim
+        self.schedule = schedule
+        self._day_start_fns: List[Callable[[int, int], None]] = []
+        self._night_start_fns: List[Callable[[int], None]] = []
+        self._lead_fns: List[Tuple[int, Callable[[int, int], None], Optional[int]]] = []
+        self._started = False
+        self._weeks_laid_out = 0
+        self._base_ns = 0
+        self.current_tdn: Optional[int] = None
+        self.day_index = 0  # number of day starts so far
+
+    def on_day_start(self, fn: Callable[[int, int], None]) -> None:
+        self._day_start_fns.append(fn)
+
+    def on_night_start(self, fn: Callable[[int], None]) -> None:
+        self._night_start_fns.append(fn)
+
+    def on_day_lead(self, lead_ns: int, fn: Callable[[int, int], None], tdn_id: Optional[int] = None) -> None:
+        if lead_ns < 0:
+            raise ValueError("lead must be non-negative")
+        if lead_ns >= self.schedule.week_ns:
+            raise ValueError("lead must be shorter than a week")
+        self._lead_fns.append((lead_ns, fn, tdn_id))
+
+    def start(self) -> None:
+        """Begin replaying the schedule from the current clock time.
+
+        Weeks are laid out one week in advance so lead callbacks that
+        cross a week boundary fire at the right time. Lead callbacks
+        whose fire time would fall before the start are skipped (there
+        is no "before the experiment").
+        """
+        if self._started:
+            raise RuntimeError("schedule driver already started")
+        self._started = True
+        self._base_ns = self.sim.now
+        self._lay_out_week(0)
+        self._lay_out_week(1)
+        self.sim.at(self._base_ns + self.schedule.week_ns, self._week_boundary)
+
+    def _week_boundary(self) -> None:
+        self._lay_out_week(self._weeks_laid_out)
+        next_boundary = self._base_ns + (self._weeks_laid_out - 1) * self.schedule.week_ns
+        self.sim.at(next_boundary, self._week_boundary)
+
+    def _lay_out_week(self, week_number: int) -> None:
+        week_start = self._base_ns + week_number * self.schedule.week_ns
+        days_per_week = len(self.schedule.days)
+        for local_index, (offset, day) in enumerate(
+            zip(self.schedule.day_starts_in_week(), self.schedule.days)
+        ):
+            global_index = week_number * days_per_week + local_index
+            start = week_start + offset
+            self.sim.at(start, self._day_start, day.tdn_id, global_index)
+            if day.night_ns > 0:
+                self.sim.at(start + day.duration_ns, self._night_start, global_index)
+            for lead_ns, fn, want_tdn in self._lead_fns:
+                if want_tdn is not None and day.tdn_id != want_tdn:
+                    continue
+                fire_at = start - lead_ns
+                if fire_at >= self.sim.now:
+                    self.sim.at(fire_at, fn, day.tdn_id, global_index)
+        self._weeks_laid_out = week_number + 1
+
+    def _day_start(self, tdn_id: int, global_index: int) -> None:
+        self.current_tdn = tdn_id
+        self.day_index = global_index + 1
+        for fn in self._day_start_fns:
+            fn(tdn_id, global_index)
+
+    def _night_start(self, global_index: int) -> None:
+        self.current_tdn = None
+        for fn in self._night_start_fns:
+            fn(global_index)

@@ -1,0 +1,139 @@
+"""Builds the two-rack Etalon testbed of Figure 6.
+
+Two racks of hosts, each wired to a ToR through full-duplex access
+links; the ToRs exchange traffic over a pair of :class:`RackUplink`
+objects (one per direction) sharing the TDN schedule. A
+:class:`ScheduleDriver` gates the uplinks; a :class:`TDNNotifier`
+implements the ToR-to-host ICMP notifications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.net.addressing import host_address
+from repro.net.link import Link
+from repro.net.node import Host
+from repro.net.queues import DropTailQueue, ECNMarkingQueue
+from repro.net.switch import ToRSwitch
+from repro.rdcn.config import RDCNConfig
+from repro.rdcn.fabric import NetworkPath, RackUplink
+from repro.rdcn.notifier import TDNNotifier
+from repro.rdcn.schedule import ScheduleDriver, TDNSchedule
+from repro.sim.rng import SeededRandom
+from repro.sim.simulator import Simulator
+
+
+@dataclass
+class TwoRackTestbed:
+    """Everything an experiment needs a handle on."""
+
+    sim: Simulator
+    config: RDCNConfig
+    schedule: TDNSchedule
+    driver: ScheduleDriver
+    notifier: TDNNotifier
+    rng: SeededRandom
+    hosts: Dict[int, List[Host]] = field(default_factory=dict)
+    tors: Dict[int, ToRSwitch] = field(default_factory=dict)
+    uplinks: Dict[int, RackUplink] = field(default_factory=dict)  # by source rack
+
+    def host(self, rack: int, index: int) -> Host:
+        return self.hosts[rack][index]
+
+    def start(self) -> None:
+        """Arm the schedule; call once before ``sim.run``."""
+        self.driver.start()
+
+
+def build_two_rack_testbed(
+    config: RDCNConfig,
+    sim: Optional[Simulator] = None,
+    ecn: bool = False,
+) -> TwoRackTestbed:
+    """Construct the testbed. ``ecn=True`` installs CE-marking VOQs
+    (needed by DCTCP runs)."""
+    sim = sim or Simulator()
+    rng = SeededRandom(config.seed)
+
+    schedule = TDNSchedule.uniform(config.schedule_pattern, config.day_ns, config.night_ns)
+    driver = ScheduleDriver(sim, schedule)
+    notifier = TDNNotifier(
+        sim,
+        driver,
+        config.notifier,
+        rng,
+        tdn_rate_of=config.tdn_rate_bps,
+        night_policy=config.notifier.night_policy,
+    )
+
+    testbed = TwoRackTestbed(
+        sim=sim,
+        config=config,
+        schedule=schedule,
+        driver=driver,
+        notifier=notifier,
+        rng=rng,
+    )
+
+    paths = {
+        tdn: NetworkPath(
+            tdn_id=tdn,
+            rate_bps=config.tdn_rate_bps(tdn),
+            one_way_delay_ns=config.tdn_one_way_ns(tdn),
+            is_circuit=(tdn != 0),
+            name="packet" if tdn == 0 else f"optical{tdn}",
+        )
+        for tdn in range(config.n_tdns)
+    }
+
+    tors = {rack: ToRSwitch(sim, rack) for rack in (0, 1)}
+    for rack in (0, 1):
+        rack_hosts: List[Host] = []
+        for index in range(config.n_hosts_per_rack):
+            host = Host(sim, host_address(rack, index))
+            # Uplink (host -> ToR) and downlink (ToR -> host) access links.
+            up = Link(
+                sim,
+                config.host_link_rate_bps,
+                config.host_link_delay_ns,
+                tors[rack].forward,
+                name=f"{host.address}-up",
+            )
+            down = Link(
+                sim,
+                config.host_link_rate_bps,
+                config.host_link_delay_ns,
+                # Late-bound so tests (and fault injectors) can wrap
+                # host.deliver after construction.
+                lambda pkt, h=host: h.deliver(pkt),
+                name=f"{host.address}-down",
+            )
+            host.attach_egress(up)
+            tors[rack].add_downlink(host.address, down)
+            rack_hosts.append(host)
+        testbed.hosts[rack] = rack_hosts
+
+    def make_voq(name: str) -> DropTailQueue:
+        if ecn:
+            return ECNMarkingQueue(config.voq_capacity, config.ecn_threshold, name)
+        return DropTailQueue(config.voq_capacity, name)
+
+    for src_rack, dst_rack in ((0, 1), (1, 0)):
+        uplink = RackUplink(
+            sim,
+            paths,
+            make_voq(f"voq-r{src_rack}-to-r{dst_rack}"),
+            tors[dst_rack].deliver_local,
+            name=f"uplink-r{src_rack}",
+        )
+        tors[src_rack].add_uplink(dst_rack, uplink)
+        testbed.uplinks[src_rack] = uplink
+        driver.on_day_start(lambda tdn, _idx, up=uplink: up.set_active(tdn))
+        driver.on_night_start(lambda _idx, up=uplink: up.set_active(None))
+
+    for rack in (0, 1):
+        notifier.add_rack(tors[rack], testbed.hosts[rack])
+    testbed.tors = tors
+    return testbed

@@ -1,0 +1,93 @@
+"""Event and event-queue primitives.
+
+Events are ordered by (time, insertion sequence). The insertion sequence
+guarantees that events scheduled for the same instant fire in the order
+they were scheduled, which keeps simulations deterministic without
+relying on heap implementation details.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`Simulator.schedule` /
+    :meth:`Simulator.at`; user code normally only keeps a reference in
+    order to :meth:`cancel` it.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so it is skipped when popped.
+
+        Cancellation is O(1); the entry is lazily discarded by the queue.
+        """
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Event t={self.time} #{self.seq} {name}{state}>"
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` with lazy deletion."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def push(self, time: int, fn: Callable[..., Any], args: tuple = ()) -> Event:
+        """Schedule ``fn(*args)`` at absolute ``time``; returns the event."""
+        event = Event(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Pop the earliest non-cancelled event, or None if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the earliest pending event without popping it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def note_cancelled(self) -> None:
+        """Bookkeeping hook: an event in the heap was cancelled."""
+        self._live -= 1
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._live = 0

@@ -1,0 +1,90 @@
+"""The simulator: an integer-nanosecond clock driving an event queue."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.events import Event, EventQueue
+
+
+class Simulator:
+    """Discrete-event simulator.
+
+    Example::
+
+        sim = Simulator()
+        sim.schedule(1000, lambda: print("one microsecond in"))
+        sim.run(until=1_000_000)
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue = EventQueue()
+        self._running = False
+        self._event_count = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Run ``fn(*args)`` ``delay`` ns from now. ``delay`` must be >= 0."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        return self._queue.push(self.now + delay, fn, args)
+
+    def at(self, time: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Run ``fn(*args)`` at absolute simulation time ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule at {time} < now {self.now}")
+        return self._queue.push(time, fn, args)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event (no-op if already fired or cancelled)."""
+        if not event.cancelled:
+            event.cancel()
+            self._queue.note_cancelled()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Process events until the queue drains, ``until`` is reached, or
+        ``max_events`` have fired. Returns the number of events processed.
+
+        When stopping at ``until``, the clock is advanced to ``until`` so
+        that subsequent relative scheduling behaves intuitively.
+        """
+        processed = 0
+        self._running = True
+        try:
+            while self._running:
+                if max_events is not None and processed >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                event = self._queue.pop()
+                assert event is not None
+                self.now = event.time
+                event.fn(*event.args)
+                processed += 1
+                self._event_count += 1
+        finally:
+            self._running = False
+        if until is not None and self.now < until:
+            self.now = until
+        return processed
+
+    def stop(self) -> None:
+        """Stop :meth:`run` after the current event completes."""
+        self._running = False
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    @property
+    def processed_events(self) -> int:
+        return self._event_count

@@ -1,0 +1,63 @@
+"""Cancellable, restartable timers built on the simulator.
+
+TCP code wants timers with "arm / rearm / cancel" semantics (RTO timer,
+RACK reorder timer, TLP probe timer); this wrapper provides them without
+each call site juggling raw events.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.events import Event
+from repro.sim.simulator import Simulator
+
+
+class Timer:
+    """A single-shot timer that can be restarted or cancelled.
+
+    The callback fires once per arming; restarting an armed timer moves
+    its deadline. The timer never fires after :meth:`cancel`.
+    """
+
+    def __init__(self, sim: Simulator, fn: Callable[..., Any], name: str = "timer"):
+        self._sim = sim
+        self._fn = fn
+        self._event: Optional[Event] = None
+        self.name = name
+
+    @property
+    def armed(self) -> bool:
+        return self._event is not None and not self._event.cancelled
+
+    @property
+    def deadline(self) -> Optional[int]:
+        """Absolute expiry time, or None when not armed."""
+        if self.armed:
+            assert self._event is not None
+            return self._event.time
+        return None
+
+    def start(self, delay: int, *args: Any) -> None:
+        """(Re)arm the timer ``delay`` ns from now."""
+        self.cancel()
+        self._event = self._sim.schedule(delay, self._fire, *args)
+
+    def start_at(self, time: int, *args: Any) -> None:
+        """(Re)arm the timer at an absolute time."""
+        self.cancel()
+        self._event = self._sim.at(time, self._fire, *args)
+
+    def cancel(self) -> None:
+        if self._event is not None and not self._event.cancelled:
+            self._sim.cancel(self._event)
+        self._event = None
+
+    def _fire(self, *args: Any) -> None:
+        self._event = None
+        self._fn(*args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.armed:
+            return f"<Timer {self.name} armed deadline={self.deadline}>"
+        return f"<Timer {self.name} idle>"

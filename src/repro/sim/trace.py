@@ -1,0 +1,46 @@
+"""Trace sinks: lightweight probes the simulation writes samples into.
+
+Collectors in :mod:`repro.metrics` subscribe to these; the hot path pays
+one attribute lookup and one call when tracing is enabled, nothing when
+the :class:`NullTraceSink` is installed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+
+class TraceSink:
+    """Interface: receive (time, key, value) samples."""
+
+    enabled = True
+
+    def record(self, time: int, key: str, value: Any) -> None:
+        raise NotImplementedError
+
+
+class NullTraceSink(TraceSink):
+    """Discards everything; used when a run does not need traces."""
+
+    enabled = False
+
+    def record(self, time: int, key: str, value: Any) -> None:
+        pass
+
+
+class ListTraceSink(TraceSink):
+    """Appends samples to per-key lists. Good enough for experiments at
+    the scale this reproduction runs (tens of ms of simulated time)."""
+
+    def __init__(self) -> None:
+        self.samples: dict[str, List[Tuple[int, Any]]] = {}
+
+    def record(self, time: int, key: str, value: Any) -> None:
+        self.samples.setdefault(key, []).append((time, value))
+
+    def series(self, key: str) -> List[Tuple[int, Any]]:
+        """All samples recorded under ``key`` (empty list if none)."""
+        return self.samples.get(key, [])
+
+    def keys(self) -> List[str]:
+        return sorted(self.samples)

@@ -1,0 +1,30 @@
+"""Single-path TCP stack: the substrate the paper's variants build on.
+
+The stack mirrors the Linux structures the paper's §4.3 semantics are
+written against: ``cwnd``/``ssthresh`` in MSS units, packet-based pipe
+accounting (``packets_out``, ``lost_out``, ``sacked_out``,
+``retrans_out``), a SACK scoreboard, the Open/Disorder/Recovery/Loss
+congestion state machine, RFC 6298 RTO with Karn's rule, and RACK-TLP
+loss detection.
+"""
+
+from repro.tcp.config import TCPConfig
+from repro.tcp.connection import TCPConnection, SegmentState
+from repro.tcp.ranges import RangeSet
+from repro.tcp.buffers import SendBuffer, ReceiveBuffer
+from repro.tcp.rtt import RTTEstimator
+from repro.tcp.state import CaState
+from repro.tcp.cc import CongestionControl, make_congestion_control
+
+__all__ = [
+    "TCPConfig",
+    "TCPConnection",
+    "SegmentState",
+    "RangeSet",
+    "SendBuffer",
+    "ReceiveBuffer",
+    "RTTEstimator",
+    "CaState",
+    "CongestionControl",
+    "make_congestion_control",
+]

@@ -1,0 +1,26 @@
+"""Congestion control algorithms (pluggable, per §3.5).
+
+TDTCP "does not propose a new congestion control algorithm — it simply
+implements one of the available CCAs in each TDN". The registry here is
+what makes that pluggability real: any registered CCA can run per-TDN.
+"""
+
+from repro.tcp.cc.base import CongestionControl, CCClock, register_cc, make_congestion_control, registered_cc_names
+from repro.tcp.cc.reno import RenoCC
+from repro.tcp.cc.cubic import CubicCC
+from repro.tcp.cc.dctcp import DCTCPCC
+from repro.tcp.cc.highspeed import HighSpeedCC
+from repro.tcp.cc.westwood import WestwoodCC
+
+__all__ = [
+    "CongestionControl",
+    "CCClock",
+    "register_cc",
+    "make_congestion_control",
+    "registered_cc_names",
+    "RenoCC",
+    "CubicCC",
+    "DCTCPCC",
+    "HighSpeedCC",
+    "WestwoodCC",
+]

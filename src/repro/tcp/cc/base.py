@@ -1,0 +1,88 @@
+"""Congestion control interface and registry.
+
+A CCA owns ``cwnd`` and ``ssthresh`` (both in MSS units) and reacts to
+ACK/loss/ECN events delivered by the connection. The connection owns
+everything else (pipe accounting, state machine, retransmissions).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Protocol
+
+INFINITE_SSTHRESH = float("inf")
+
+
+class CCClock(Protocol):
+    """Minimal clock the CCAs need (CUBIC epochs are time-based)."""
+
+    def now_ns(self) -> int: ...
+
+
+class CongestionControl:
+    """Base class: Reno-style slow start, no-op congestion avoidance."""
+
+    name = "base"
+
+    def __init__(self, clock: CCClock, initial_cwnd: float = 10.0):
+        self.clock = clock
+        self.cwnd: float = initial_cwnd
+        self.ssthresh: float = INFINITE_SSTHRESH
+        self.min_cwnd: float = 2.0
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self.cwnd < self.ssthresh
+
+    # ------------------------------------------------------------------
+    # Events — all window arithmetic in MSS units.
+    # ------------------------------------------------------------------
+    def on_ack(self, acked_packets: int, rtt_ns: Optional[int], in_flight: int, ece: bool = False) -> None:
+        """Cumulative ACK covering ``acked_packets`` new segments."""
+        raise NotImplementedError
+
+    def on_congestion_event(self) -> None:
+        """Entering fast recovery (loss) or reacting to ECN: reduce."""
+        raise NotImplementedError
+
+    def on_recovery_exit(self) -> None:
+        """Recovery completed (snd_una passed high_seq)."""
+        # Default: deflate to ssthresh (standard full-window completion).
+        self.cwnd = max(self.ssthresh, self.min_cwnd)
+
+    def on_rto(self) -> None:
+        """Retransmission timeout: collapse the window."""
+        self.ssthresh = max(self.cwnd / 2.0, self.min_cwnd)
+        self.cwnd = 1.0
+
+    def snapshot(self) -> dict:
+        """Loggable view of the internal state."""
+        return {"name": self.name, "cwnd": self.cwnd, "ssthresh": self.ssthresh}
+
+
+_REGISTRY: Dict[str, Callable[..., CongestionControl]] = {}
+
+
+def register_cc(name: str):
+    """Class decorator registering a CCA under ``name``."""
+
+    def deco(cls):
+        if name in _REGISTRY:
+            raise ValueError(f"congestion control {name!r} already registered")
+        _REGISTRY[name] = cls
+        cls.name = name
+        return cls
+
+    return deco
+
+
+def make_congestion_control(name: str, clock: CCClock, initial_cwnd: float = 10.0, **kwargs) -> CongestionControl:
+    """Instantiate a registered CCA by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown congestion control {name!r}; known: {sorted(_REGISTRY)}") from None
+    return factory(clock, initial_cwnd=initial_cwnd, **kwargs)
+
+
+def registered_cc_names() -> list:
+    return sorted(_REGISTRY)

@@ -1,0 +1,106 @@
+"""CUBIC congestion control (RFC 8312).
+
+The window grows as ``W(t) = C*(t - K)^3 + W_max`` since the last
+congestion event, with a TCP-friendly (Reno emulation) floor and fast
+convergence. This is the CCA the paper runs both standalone ("cubic")
+and inside every TDN of TDTCP.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.tcp.cc.base import CCClock, CongestionControl, register_cc
+from repro.units import SEC
+
+
+@register_cc("cubic")
+class CubicCC(CongestionControl):
+    """CUBIC in MSS units with nanosecond epochs."""
+
+    C = 0.4          # scaling constant (units: MSS / s^3)
+    BETA = 0.7       # multiplicative decrease factor
+
+    def __init__(self, clock: CCClock, initial_cwnd: float = 10.0, fast_convergence: bool = True):
+        super().__init__(clock, initial_cwnd)
+        self.fast_convergence = fast_convergence
+        self.w_max: float = 0.0
+        self.w_last_max: float = 0.0
+        self.epoch_start_ns: Optional[int] = None
+        self.k_seconds: float = 0.0
+        self._tcp_cwnd: float = 0.0       # Reno-emulation estimate
+        self._avoidance_credit = 0.0
+
+    # ------------------------------------------------------------------
+    def _begin_epoch(self, now_ns: int) -> None:
+        self.epoch_start_ns = now_ns
+        if self.cwnd < self.w_max:
+            self.k_seconds = ((self.w_max - self.cwnd) / self.C) ** (1.0 / 3.0)
+        else:
+            self.k_seconds = 0.0
+            self.w_max = self.cwnd
+        self._tcp_cwnd = self.cwnd
+
+    def _cubic_target(self, now_ns: int) -> float:
+        assert self.epoch_start_ns is not None
+        t = (now_ns - self.epoch_start_ns) / SEC
+        return self.C * (t - self.k_seconds) ** 3 + self.w_max
+
+    def on_ack(self, acked_packets: int, rtt_ns: Optional[int], in_flight: int, ece: bool = False) -> None:
+        if acked_packets <= 0:
+            return
+        now = self.clock.now_ns()
+        if self.in_slow_start:
+            grow = min(float(acked_packets), max(self.ssthresh - self.cwnd, 0.0)) \
+                if self.ssthresh != float("inf") else float(acked_packets)
+            self.cwnd += grow
+            acked_packets -= int(grow)
+            if acked_packets <= 0:
+                return
+        if self.epoch_start_ns is None:
+            self._begin_epoch(now)
+        target = self._cubic_target(now)
+        # TCP-friendly region: per RFC 8312 §4.2 the Reno estimate grows
+        # 3*(1-BETA)/(1+BETA) MSS per RTT's worth of ACKs.
+        if rtt_ns:
+            self._tcp_cwnd += (
+                3.0 * (1.0 - self.BETA) / (1.0 + self.BETA)
+                * acked_packets / max(self.cwnd, 1.0)
+            )
+        target = max(target, self._tcp_cwnd)
+        if target > self.cwnd:
+            # Approach the target over roughly one RTT of ACKs.
+            self._avoidance_credit += (target - self.cwnd) * acked_packets / max(self.cwnd, 1.0)
+        else:
+            # Mild growth so the window is not frozen below target
+            # (RFC 8312's 1%/RTT "max probing").
+            self._avoidance_credit += 0.01 * acked_packets / max(self.cwnd, 1.0)
+        if self._avoidance_credit >= 1.0:
+            whole = int(self._avoidance_credit)
+            self.cwnd += whole
+            self._avoidance_credit -= whole
+
+    def on_congestion_event(self) -> None:
+        now = self.clock.now_ns()
+        if self.fast_convergence and self.cwnd < self.w_last_max:
+            self.w_last_max = self.cwnd
+            self.w_max = self.cwnd * (1.0 + self.BETA) / 2.0
+        else:
+            self.w_last_max = self.cwnd
+            self.w_max = self.cwnd
+        self.ssthresh = max(self.cwnd * self.BETA, self.min_cwnd)
+        self.cwnd = self.ssthresh
+        self.epoch_start_ns = None
+        self._avoidance_credit = 0.0
+        del now
+
+    def on_rto(self) -> None:
+        super().on_rto()
+        self.epoch_start_ns = None
+        self.w_max = max(self.w_max, self.cwnd)
+        self._avoidance_credit = 0.0
+
+    def snapshot(self) -> dict:
+        data = super().snapshot()
+        data.update({"w_max": self.w_max, "k_seconds": self.k_seconds})
+        return data

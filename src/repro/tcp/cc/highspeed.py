@@ -1,0 +1,80 @@
+"""HighSpeed TCP (RFC 3649).
+
+The §6 related-work family: "TCP variants for high-speed networks ramp
+up more aggressively and can recover more quickly from estimation
+errors, but do not address the root of the problem." Included so the
+claim can be tested on the RDCN: aggressive ramping alone does not fix
+TDN-blind congestion state.
+
+Above a window of 38 MSS, the additive increase ``a(w)`` grows and the
+multiplicative decrease ``b(w)`` shrinks with the window, per the RFC's
+response function; below it, behaviour is standard Reno.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.tcp.cc.base import CCClock, CongestionControl, register_cc
+
+LOW_WINDOW = 38.0
+HIGH_WINDOW = 83_000.0
+HIGH_P = 1e-7
+HIGH_DECREASE = 0.1
+
+
+def hstcp_b(w: float) -> float:
+    """Multiplicative decrease factor b(w) (RFC 3649 §5)."""
+    if w <= LOW_WINDOW:
+        return 0.5
+    log_ratio = (math.log(w) - math.log(LOW_WINDOW)) / (
+        math.log(HIGH_WINDOW) - math.log(LOW_WINDOW)
+    )
+    return (HIGH_DECREASE - 0.5) * log_ratio + 0.5
+
+
+def hstcp_p(w: float) -> float:
+    """The HSTCP response function's loss rate at window w (RFC 3649
+    §1: ``p = 0.078 / w^1.2``)."""
+    return 0.078 * w ** -1.2
+
+
+def hstcp_a(w: float) -> float:
+    """Additive increase a(w) in MSS per RTT (RFC 3649 §5):
+    ``a(w) = w^2 * p(w) * 2 * b(w) / (2 - b(w))``, at least 1."""
+    if w <= LOW_WINDOW:
+        return 1.0
+    b = hstcp_b(w)
+    return max(w ** 2 * hstcp_p(w) * 2.0 * b / (2.0 - b), 1.0)
+
+
+@register_cc("highspeed")
+class HighSpeedCC(CongestionControl):
+    """HighSpeed TCP window arithmetic."""
+
+    def __init__(self, clock: CCClock, initial_cwnd: float = 10.0):
+        super().__init__(clock, initial_cwnd)
+        self._avoidance_credit = 0.0
+
+    def on_ack(self, acked_packets: int, rtt_ns: Optional[int], in_flight: int, ece: bool = False) -> None:
+        if acked_packets <= 0:
+            return
+        if self.in_slow_start:
+            grow = min(float(acked_packets), max(self.ssthresh - self.cwnd, 0.0)) \
+                if self.ssthresh != float("inf") else float(acked_packets)
+            self.cwnd += grow
+            acked_packets -= int(grow)
+            if acked_packets <= 0:
+                return
+        self._avoidance_credit += hstcp_a(self.cwnd) * acked_packets / max(self.cwnd, 1.0)
+        if self._avoidance_credit >= 1.0:
+            whole = int(self._avoidance_credit)
+            self.cwnd += whole
+            self._avoidance_credit -= whole
+
+    def on_congestion_event(self) -> None:
+        b = hstcp_b(self.cwnd)
+        self.ssthresh = max(self.cwnd * (1.0 - b), self.min_cwnd)
+        self.cwnd = self.ssthresh
+        self._avoidance_credit = 0.0

@@ -1,0 +1,96 @@
+"""TCP Westwood+ (Mascolo et al., MobiCom 2001; §6 related work).
+
+Estimates the eligible rate from the ACK stream (EWMA of delivered
+bytes per unit time) and, on a congestion event, sets the window to the
+estimated bandwidth-delay product instead of blindly halving —
+"bandwidth estimation for enhanced transport over wireless links". In
+an RDCN the estimate averages across TDNs, which is exactly the failure
+mode §6 predicts for this family; having it runnable makes that
+testable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.tcp.cc.base import CCClock, CongestionControl, register_cc
+from repro.units import SEC
+
+
+@register_cc("westwood")
+class WestwoodCC(CongestionControl):
+    """Westwood+ window arithmetic with rate estimation."""
+
+    # EWMA smoothing over ~RTT-scale intervals.
+    GAIN = 0.2
+
+    def __init__(self, clock: CCClock, initial_cwnd: float = 10.0, mss: int = 1500):
+        super().__init__(clock, initial_cwnd)
+        self.mss = mss
+        self.bw_estimate_bps = 0.0
+        self._interval_start_ns: Optional[int] = None
+        self._interval_acked = 0
+        self._min_rtt_ns: Optional[int] = None
+        self._avoidance_credit = 0.0
+
+    def _update_bandwidth(self, acked_packets: int, rtt_ns: Optional[int]) -> None:
+        now = self.clock.now_ns()
+        if rtt_ns:
+            if self._min_rtt_ns is None or rtt_ns < self._min_rtt_ns:
+                self._min_rtt_ns = rtt_ns
+        if self._interval_start_ns is None:
+            self._interval_start_ns = now
+            self._interval_acked = acked_packets
+            return
+        self._interval_acked += acked_packets
+        elapsed = now - self._interval_start_ns
+        window = self._min_rtt_ns or 100_000
+        if elapsed >= window:
+            sample_bps = self._interval_acked * self.mss * 8 * SEC / elapsed
+            if self.bw_estimate_bps == 0.0:
+                self.bw_estimate_bps = sample_bps
+            else:
+                self.bw_estimate_bps += self.GAIN * (sample_bps - self.bw_estimate_bps)
+            self._interval_start_ns = now
+            self._interval_acked = 0
+
+    def on_ack(self, acked_packets: int, rtt_ns: Optional[int], in_flight: int, ece: bool = False) -> None:
+        if acked_packets <= 0:
+            return
+        self._update_bandwidth(acked_packets, rtt_ns)
+        if self.in_slow_start:
+            grow = min(float(acked_packets), max(self.ssthresh - self.cwnd, 0.0)) \
+                if self.ssthresh != float("inf") else float(acked_packets)
+            self.cwnd += grow
+            acked_packets -= int(grow)
+            if acked_packets <= 0:
+                return
+        self._avoidance_credit += acked_packets / max(self.cwnd, 1.0)
+        if self._avoidance_credit >= 1.0:
+            whole = int(self._avoidance_credit)
+            self.cwnd += whole
+            self._avoidance_credit -= whole
+
+    def _bdp_packets(self) -> float:
+        if self.bw_estimate_bps <= 0.0 or self._min_rtt_ns is None:
+            return 0.0
+        return self.bw_estimate_bps * (self._min_rtt_ns / SEC) / (8 * self.mss)
+
+    def on_congestion_event(self) -> None:
+        bdp = self._bdp_packets()
+        if bdp > 0:
+            self.ssthresh = max(bdp, self.min_cwnd)
+        else:
+            self.ssthresh = max(self.cwnd / 2.0, self.min_cwnd)
+        self.cwnd = min(self.cwnd, self.ssthresh)
+        self._avoidance_credit = 0.0
+
+    def on_rto(self) -> None:
+        bdp = self._bdp_packets()
+        self.ssthresh = max(bdp, self.min_cwnd) if bdp > 0 else max(self.cwnd / 2.0, self.min_cwnd)
+        self.cwnd = 1.0
+
+    def snapshot(self) -> dict:
+        data = super().snapshot()
+        data["bw_estimate_bps"] = self.bw_estimate_bps
+        return data

@@ -1,0 +1,71 @@
+"""``ss -ti``-style connection introspection.
+
+Renders live connection state the way the kernel's socket-statistics
+tool would — one line per connection plus an indented detail line per
+path (TDN). Useful when debugging experiments interactively and in the
+examples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.tcp.connection import TCPConnection
+
+
+def _format_bytes(count: int) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if count < 1024 or unit == "GB":
+            return f"{count:.0f}{unit}" if unit == "B" else f"{count:.1f}{unit}"
+        count /= 1024.0
+    return f"{count:.1f}GB"
+
+
+def describe_connection(conn: TCPConnection) -> str:
+    """Multi-line ss-style description of one connection."""
+    header = (
+        f"{conn.state:<12} {conn.host.address}:{conn.local_port} -> "
+        f"{conn.remote_addr}:{conn.remote_port}"
+    )
+    totals = (
+        f"  bytes_acked:{_format_bytes(conn.stats.bytes_acked)}"
+        f" bytes_received:{_format_bytes(conn.stats.bytes_delivered)}"
+        f" segs_out:{conn.stats.segments_sent}"
+        f" retrans:{conn.stats.retransmissions}"
+        f" spurious:{conn.stats.spurious_retransmissions}"
+        f" rtos:{conn.stats.rtos}"
+        f" unacked:{conn.total_packets_out()}"
+    )
+    lines = [header, totals]
+    multi_path = len(conn.paths) > 1
+    for path in conn.paths:
+        srtt = f"{path.rtt.srtt_ns / 1e6:.3f}ms" if path.rtt.srtt_ns else "-"
+        rttvar = f"{path.rtt.rttvar_ns / 1e6:.3f}ms" if path.rtt.rttvar_ns else "-"
+        label = f"  tdn:{path.tdn_id} " if multi_path else "  "
+        lines.append(
+            f"{label}{path.cc.name} cwnd:{path.cc.cwnd:.1f}"
+            + (
+                f" ssthresh:{path.cc.ssthresh:.1f}"
+                if path.cc.ssthresh != float("inf")
+                else ""
+            )
+            + f" rtt:{srtt}/{rttvar}"
+            f" state:{path.ca_state.value}"
+            f" pipe:{path.packets_out}/{path.sacked_out}/{path.lost_out}/{path.retrans_out}"
+        )
+    extra = getattr(conn, "tdn_state", None)
+    if extra is not None and not getattr(conn, "downgraded", False):
+        lines.append(
+            f"  tdtcp: current_tdn:{extra.current_index}"
+            f" switches:{extra.switches}"
+            f" change_ptr:{conn.tdn_change_seq}"
+        )
+    return "\n".join(lines)
+
+
+def socket_summary(connections: Iterable[TCPConnection]) -> str:
+    """ss-style listing of many connections."""
+    parts: List[str] = []
+    for conn in connections:
+        parts.append(describe_connection(conn))
+    return "\n".join(parts) if parts else "(no connections)"

@@ -1,0 +1,44 @@
+"""TCP option helpers and protocol constants (Figure 5).
+
+The wire encoding itself is modelled by size constants on
+:mod:`repro.net.packet`; this module holds the option *semantics*:
+subtype values, the TD_CAPABLE negotiation rules, and SACK block
+selection limits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+# TDTCP option subtypes (Figure 5b/5c).
+TD_CAPABLE = 0
+TD_DATA_ACK = 1
+
+# At most 3 SACK blocks fit alongside the TDTCP options in a standard
+# option space (RFC 2018 allows 3-4; with timestamps/TDTCP options 3).
+MAX_SACK_BLOCKS = 3
+
+# The TDN ID field is one byte (§4.1): at most 256 distinct TDNs.
+MAX_TDNS = 256
+
+
+def negotiate_td_capable(local_tdns: Optional[int], peer_tdns: Optional[int]) -> Optional[int]:
+    """TD_CAPABLE handshake outcome.
+
+    Both ends must advertise the *same* number of TDNs for TDTCP to be
+    enabled (§4.2: the TDN IDs must refer to the same network condition
+    at both parties). Any mismatch or absence downgrades to regular TCP.
+    Returns the agreed TDN count, or None when downgraded.
+    """
+    if local_tdns is None or peer_tdns is None:
+        return None
+    if local_tdns != peer_tdns:
+        return None
+    if not (1 <= local_tdns <= MAX_TDNS):
+        return None
+    return local_tdns
+
+
+def clip_sack_blocks(blocks: Tuple[Tuple[int, int], ...]) -> Tuple[Tuple[int, int], ...]:
+    """Enforce the SACK option space limit."""
+    return tuple(blocks[:MAX_SACK_BLOCKS])

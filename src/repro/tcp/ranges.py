@@ -1,0 +1,128 @@
+"""Disjoint byte-range set.
+
+Shared by the receiver's reassembly buffer and the sender's SACK
+scoreboard. Ranges are half-open ``[start, end)``; adjacent and
+overlapping ranges merge. The structure stays small (a TCP window's
+worth of holes), so a sorted list with linear merge is both simple and
+fast enough.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Tuple
+
+Range = Tuple[int, int]
+
+
+class RangeSet:
+    """A set of disjoint, sorted, half-open integer ranges."""
+
+    def __init__(self, ranges: Iterable[Range] = ()):
+        self._ranges: List[Range] = []
+        for start, end in ranges:
+            self.add(start, end)
+
+    def __len__(self) -> int:
+        return len(self._ranges)
+
+    def __iter__(self) -> Iterator[Range]:
+        return iter(self._ranges)
+
+    def __bool__(self) -> bool:
+        return bool(self._ranges)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RangeSet):
+            return self._ranges == other._ranges
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RangeSet({self._ranges})"
+
+    def add(self, start: int, end: int) -> Range:
+        """Insert ``[start, end)``; returns the merged range it became.
+
+        Empty ranges are ignored (returned unchanged).
+        """
+        if start > end:
+            raise ValueError(f"invalid range [{start}, {end})")
+        if start == end:
+            return (start, end)
+        merged_start, merged_end = start, end
+        out: List[Range] = []
+        inserted = False
+        for r_start, r_end in self._ranges:
+            if r_end < merged_start or r_start > merged_end:
+                # Disjoint and not even adjacent.
+                if r_start > merged_end and not inserted:
+                    out.append((merged_start, merged_end))
+                    inserted = True
+                out.append((r_start, r_end))
+            else:
+                merged_start = min(merged_start, r_start)
+                merged_end = max(merged_end, r_end)
+        if not inserted:
+            out.append((merged_start, merged_end))
+        out.sort()
+        self._ranges = out
+        return (merged_start, merged_end)
+
+    def remove_below(self, threshold: int) -> None:
+        """Drop all coverage strictly below ``threshold``."""
+        out: List[Range] = []
+        for start, end in self._ranges:
+            if end <= threshold:
+                continue
+            out.append((max(start, threshold), end))
+        self._ranges = out
+
+    def contains_point(self, value: int) -> bool:
+        for start, end in self._ranges:
+            if start <= value < end:
+                return True
+            if start > value:
+                break
+        return False
+
+    def covers(self, start: int, end: int) -> bool:
+        """True when ``[start, end)`` is entirely covered by one range."""
+        if start >= end:
+            return True
+        for r_start, r_end in self._ranges:
+            if r_start <= start and end <= r_end:
+                return True
+            if r_start > start:
+                break
+        return False
+
+    def first_range_at_or_after(self, value: int) -> Range:
+        """First range whose end is above ``value``; raises if none."""
+        for start, end in self._ranges:
+            if end > value:
+                return (start, end)
+        raise LookupError(f"no range at or after {value}")
+
+    def coverage(self) -> int:
+        """Total number of integers covered."""
+        return sum(end - start for start, end in self._ranges)
+
+    def ranges(self) -> List[Range]:
+        return list(self._ranges)
+
+    def gaps_between(self, start: int, end: int) -> List[Range]:
+        """Uncovered sub-ranges of ``[start, end)``."""
+        gaps: List[Range] = []
+        cursor = start
+        for r_start, r_end in self._ranges:
+            if r_end <= cursor:
+                continue
+            if r_start >= end:
+                break
+            if r_start > cursor:
+                gaps.append((cursor, min(r_start, end)))
+            cursor = max(cursor, r_end)
+            if cursor >= end:
+                break
+        if cursor < end:
+            gaps.append((cursor, end))
+        return gaps

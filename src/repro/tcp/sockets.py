@@ -1,0 +1,60 @@
+"""Small app-facing helpers for wiring connection pairs.
+
+Experiments always need the same shape: a sender endpoint on one host,
+a receiver endpoint on another, handshake completed, then bulk data.
+:func:`create_connection_pair` builds both ends (of any connection
+class) and kicks off the active open.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Type
+
+from repro.net.node import Host
+from repro.sim.simulator import Simulator
+from repro.tcp.config import TCPConfig
+from repro.tcp.connection import TCPConnection
+
+
+def create_connection_pair(
+    sim: Simulator,
+    client_host: Host,
+    server_host: Host,
+    cc_name: str = "cubic",
+    config: Optional[TCPConfig] = None,
+    connection_cls: Type[TCPConnection] = TCPConnection,
+    server_port: int = 5001,
+    connect: bool = True,
+    **conn_kwargs,
+) -> Tuple[TCPConnection, TCPConnection]:
+    """Create (client, server) endpoints of ``connection_cls``.
+
+    The server listens on ``server_port``; the client uses an ephemeral
+    port. When ``connect`` is True the SYN goes out immediately.
+    """
+    config = config or TCPConfig()
+    client_port = client_host.allocate_port()
+    client = connection_cls(
+        sim,
+        client_host,
+        remote_addr=server_host.address,
+        remote_port=server_port,
+        local_port=client_port,
+        cc_name=cc_name,
+        config=config,
+        **conn_kwargs,
+    )
+    server = connection_cls(
+        sim,
+        server_host,
+        remote_addr=client_host.address,
+        remote_port=client_port,
+        local_port=server_port,
+        cc_name=cc_name,
+        config=config,
+        **conn_kwargs,
+    )
+    server.listen()
+    if connect:
+        client.connect()
+    return client, server

@@ -1,0 +1,22 @@
+"""The Linux congestion state machine (``ca_state``).
+
+The paper's Figure 4 shows one of these per TDN; the single-path stack
+keeps exactly one.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class CaState(enum.Enum):
+    """Congestion avoidance state, as in the Linux stack."""
+
+    OPEN = "open"          # no anomaly: fast path
+    DISORDER = "disorder"  # SACKed segments exist, no loss declared
+    RECOVERY = "recovery"  # fast recovery after marked losses
+    LOSS = "loss"          # RTO fired
+
+    @property
+    def in_recovery(self) -> bool:
+        return self in (CaState.RECOVERY, CaState.LOSS)

@@ -1,0 +1,67 @@
+"""Shared fixtures/builders for the test suite."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Type
+
+from repro.net.link import Link
+from repro.net.node import Host
+from repro.rdcn.config import NotifierConfig, RDCNConfig
+from repro.sim.simulator import Simulator
+from repro.tcp.config import TCPConfig
+from repro.tcp.connection import TCPConnection
+from repro.tcp.sockets import create_connection_pair
+from repro.units import gbps, msec, usec
+
+
+def two_hosts(
+    sim: Optional[Simulator] = None,
+    rate_bps: float = gbps(10),
+    one_way_ns: int = usec(20),
+    forward_queue: Optional[int] = None,
+    reverse_queue: Optional[int] = None,
+) -> Tuple[Simulator, Host, Host, Link, Link]:
+    """Two hosts joined by one link in each direction."""
+    sim = sim or Simulator()
+    a = Host(sim, "r0h0")
+    b = Host(sim, "r1h0")
+    ab = Link(sim, rate_bps, one_way_ns, b.deliver, queue_capacity=forward_queue, name="ab")
+    ba = Link(sim, rate_bps, one_way_ns, a.deliver, queue_capacity=reverse_queue, name="ba")
+    a.attach_egress(ab)
+    b.attach_egress(ba)
+    return sim, a, b, ab, ba
+
+
+def bulk_pair(
+    sim: Simulator,
+    a: Host,
+    b: Host,
+    cc_name: str = "cubic",
+    config: Optional[TCPConfig] = None,
+    connection_cls: Type[TCPConnection] = TCPConnection,
+    **kwargs,
+) -> Tuple[TCPConnection, TCPConnection]:
+    """Connected endpoints with an endless sending application."""
+    client, server = create_connection_pair(
+        sim, a, b, cc_name=cc_name, config=config or TCPConfig(), connection_cls=connection_cls, **kwargs
+    )
+    client.start_bulk()
+    return client, server
+
+
+def small_rdcn(
+    n_hosts: int = 2,
+    night_policy: str = "slowdown",
+    seed: int = 7,
+) -> RDCNConfig:
+    """A scaled-down RDCN for fast integration tests."""
+    return RDCNConfig(
+        n_hosts_per_rack=n_hosts,
+        host_link_rate_bps=gbps(100 / max(n_hosts, 1) / 2),
+        notifier=NotifierConfig(night_policy=night_policy),
+        seed=seed,
+    )
+
+
+def run_for(sim: Simulator, duration_ns: int) -> None:
+    sim.run(until=sim.now + duration_ns)

@@ -1,0 +1,148 @@
+"""Appendix A.1: the full cross-TDN reordering taxonomy (Figure 12).
+
+Scenarios (a)-(c) are data-crossing-only, (d)-(f) ACK-crossing-only,
+(g)-(h) double-crossing. The appendix's observations, tested here:
+
+* data reordering triggers TCP's fast-retransmit heuristics; TDTCP's
+  relaxed detection suppresses the spurious retransmissions;
+* "ACK reordering is largely harmless" — cumulative ACK semantics
+  nullify the stragglers for plain TCP too;
+* "double crossing either cancels each other out or does not manifest
+  as an issue from the sender's perspective."
+
+Each scenario runs a live connection through a link that delays a
+window of packets (data, ACKs, or both) around a TDN switch.
+"""
+
+import pytest
+
+from repro.core.tdtcp import TDTCPConnection
+from repro.net.packet import TDNNotification
+from repro.tcp.connection import TCPConnection
+from repro.tcp.sockets import create_connection_pair
+from repro.units import msec, usec
+
+from tests.helpers import two_hosts
+
+SWITCH_AT = msec(1)
+DELAY = usec(45)
+HELD = 8
+
+
+def run_scenario(connection_cls, delay_data: bool, delay_acks: bool, **kwargs):
+    """Bulk transfer; at the switch, the tail of old-TDN data and/or
+    ACKs is delayed by the slow path while new-TDN traffic runs fast."""
+    sim, a, b, ab, ba = two_hosts(one_way_ns=usec(20))
+    held = {"data": 0, "acks": 0}
+
+    fwd = ab.deliver
+
+    def data_path(pkt):
+        if (
+            delay_data
+            and pkt.payload_len
+            and getattr(pkt, "data_tdn", None) in (0, None)
+            and sim.now > SWITCH_AT - usec(10)
+            and sim.now <= SWITCH_AT + usec(2)
+            and held["data"] < HELD
+        ):
+            held["data"] += 1
+            sim.schedule(DELAY, fwd, pkt)
+            return
+        fwd(pkt)
+
+    rev = ba.deliver
+
+    def ack_path(pkt):
+        if (
+            delay_acks
+            and pkt.is_ack
+            and not pkt.payload_len
+            and sim.now > SWITCH_AT - usec(10)
+            and sim.now <= SWITCH_AT + usec(2)
+            and held["acks"] < HELD
+        ):
+            held["acks"] += 1
+            sim.schedule(DELAY, rev, pkt)
+            return
+        rev(pkt)
+
+    ab.deliver = data_path
+    ba.deliver = ack_path
+    client, server = create_connection_pair(
+        sim, a, b, connection_cls=connection_cls, **kwargs
+    )
+    client.start_bulk()
+    sim.run(until=SWITCH_AT)
+    a.deliver(TDNNotification("tor0", a.address, tdn_id=1))
+    b.deliver(TDNNotification("tor1", b.address, tdn_id=1))
+    sim.run(until=SWITCH_AT + msec(2))
+    return sim, client, server, held
+
+
+SCENARIOS = {
+    # Figure 12 groups: (delay_data, delay_acks)
+    "data-crossing (a-c)": (True, False),
+    "ack-crossing (d-f)": (False, True),
+    "double-crossing (g-h)": (True, True),
+}
+
+
+class TestTDTCPAcrossAllScenarios:
+    @pytest.mark.parametrize("label", list(SCENARIOS))
+    def test_no_spurious_retransmissions(self, label):
+        delay_data, delay_acks = SCENARIOS[label]
+        sim, client, server, held = run_scenario(
+            TDTCPConnection, delay_data, delay_acks, tdn_count=2
+        )
+        assert held["data" if delay_data else "acks"] > 0
+        assert client.stats.spurious_retransmissions == 0, label
+
+    @pytest.mark.parametrize("label", list(SCENARIOS))
+    def test_stream_completes(self, label):
+        delay_data, delay_acks = SCENARIOS[label]
+        sim, client, server, held = run_scenario(
+            TDTCPConnection, delay_data, delay_acks, tdn_count=2
+        )
+        assert server.recv_buffer.ooo_bytes == 0
+        assert server.stats.bytes_delivered > 1_000_000
+
+
+class TestPlainTCPContrast:
+    def test_data_crossing_hurts_plain_tcp(self):
+        """Scenarios (a)-(c): plain TCP spuriously retransmits."""
+        sim, client, server, held = run_scenario(TCPConnection, True, False)
+        assert held["data"] > 0
+        assert client.stats.spurious_retransmissions >= 1
+
+    def test_ack_crossing_largely_harmless(self):
+        """Scenarios (d)-(f): 'ACK reordering is largely harmless' —
+        later cumulative ACKs nullify the stragglers."""
+        sim, client, server, held = run_scenario(TCPConnection, False, True)
+        assert held["acks"] > 0
+        assert client.stats.spurious_retransmissions == 0
+
+    def test_transitions_to_slower_tdn_do_not_reorder(self):
+        """A.1: 'There is no cross-TDN reordering in transitions from
+        low latency to high latency' — delaying the *new* TDN's traffic
+        (slower path after the switch) produces no reordering at all."""
+        sim, a, b, ab, _ba = two_hosts(one_way_ns=usec(20))
+        fwd = ab.deliver
+
+        def slow_new_tdn(pkt):
+            if pkt.payload_len and getattr(pkt, "data_tdn", None) == 1:
+                sim.schedule(DELAY, fwd, pkt)
+                return
+            fwd(pkt)
+
+        ab.deliver = slow_new_tdn
+        client, server = create_connection_pair(
+            sim, a, b, connection_cls=TDTCPConnection, tdn_count=2
+        )
+        client.start_bulk()
+        sim.run(until=SWITCH_AT)
+        a.deliver(TDNNotification("tor0", a.address, tdn_id=1))
+        b.deliver(TDNNotification("tor1", b.address, tdn_id=1))
+        sim.run(until=SWITCH_AT + msec(2))
+        assert client.stats.spurious_retransmissions == 0
+        assert client.stats.retransmissions == 0

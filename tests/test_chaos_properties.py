@@ -1,0 +1,109 @@
+"""Property-based chaos tests: random impairments must never corrupt
+the stack's accounting or wedge a connection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tdtcp import TDTCPConnection
+from repro.net.packet import TDNNotification
+from repro.sim.rng import SeededRandom
+from repro.tcp.config import TCPConfig
+from repro.tcp.connection import TCPConnection
+from repro.tcp.sockets import create_connection_pair
+from repro.units import msec, usec
+
+from tests.helpers import two_hosts
+
+
+def chaos_run(
+    connection_cls,
+    loss_rate: float,
+    delay_rate: float,
+    switch_times_us,
+    seed: int,
+    duration_ms: int = 12,
+    **kwargs,
+):
+    """A transfer through a link that randomly drops and delays, with
+    TDN switches injected at the given times."""
+    sim, a, b, ab, ba = two_hosts(one_way_ns=usec(20))
+    rng = SeededRandom(seed)
+
+    def impair(original):
+        def deliver(pkt):
+            if pkt.payload_len and rng.chance(loss_rate):
+                pkt.dropped = True
+                return
+            if rng.chance(delay_rate):
+                sim.schedule(rng.randint(1_000, 80_000), original, pkt)
+                return
+            original(pkt)
+
+        return deliver
+
+    ab.deliver = impair(ab.deliver)
+    ba.deliver = impair(ba.deliver)
+    client, server = create_connection_pair(
+        sim, a, b, connection_cls=connection_cls,
+        config=TCPConfig(min_rto_ns=usec(1_000)), **kwargs,
+    )
+    client.start_bulk()
+    tdn = 0
+    for t_us in switch_times_us:
+        tdn = 1 - tdn
+        sim.at(usec(t_us), a.deliver, TDNNotification("tor", a.address, tdn))
+        sim.at(usec(t_us), b.deliver, TDNNotification("tor", b.address, tdn))
+    sim.run(until=msec(duration_ms))
+    return sim, client, server
+
+
+switch_strategy = st.lists(
+    st.integers(100, 10_000), min_size=0, max_size=8, unique=True
+).map(sorted)
+
+
+class TestChaosTCP:
+    @given(
+        loss=st.floats(0.0, 0.05),
+        delay=st.floats(0.0, 0.05),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_plain_tcp_invariants_and_progress(self, loss, delay, seed):
+        sim, client, server = chaos_run(TCPConnection, loss, delay, [], seed)
+        client.check_invariants()
+        server.check_invariants()
+        assert server.stats.bytes_delivered > 0
+        assert client.snd_una > 1  # made forward progress
+
+    @given(
+        loss=st.floats(0.0, 0.04),
+        delay=st.floats(0.0, 0.04),
+        switches=switch_strategy,
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_tdtcp_invariants_under_switch_chaos(self, loss, delay, switches, seed):
+        sim, client, server = chaos_run(
+            TDTCPConnection, loss, delay, switches, seed, tdn_count=2
+        )
+        client.check_invariants()
+        server.check_invariants()
+        assert server.stats.bytes_delivered > 0
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_heavy_loss_no_wedge(self, seed):
+        """10% loss: brutal, but the connection must keep crawling."""
+        sim, client, server = chaos_run(TCPConnection, 0.10, 0.0, [], seed, duration_ms=30)
+        client.check_invariants()
+        assert server.stats.bytes_delivered > 50_000
+
+    def test_delivered_never_exceeds_sent(self):
+        sim, client, server = chaos_run(TCPConnection, 0.02, 0.02, [], seed=7)
+        assert server.stats.bytes_delivered <= client.stats.segments_sent * client.config.mss
+
+    def test_ground_truth_spurious_subset_of_retransmissions(self):
+        sim, client, server = chaos_run(TDTCPConnection, 0.02, 0.02, [500, 900], 3, tdn_count=2)
+        assert client.stats.spurious_retransmissions <= client.stats.retransmissions

@@ -1,0 +1,96 @@
+"""Figure 4 end-to-end: per-TDN congestion state machines.
+
+"(Dashed blue) segments from TDN 0 are ignored since they belong to a
+different TDN and their ACKs are very likely just delayed. Only one
+(dashed pink) segment belonging to TDN 1 is confirmed as a true loss,
+which will be retransmitted. TDN 0 remains in Open state and is allowed
+to continue sending at full speed; TDN 1, on the other hand, enters
+Recovery state due to the loss."
+"""
+
+import pytest
+
+from repro.core.tdtcp import TDTCPConnection
+from repro.net.packet import TDNNotification
+from repro.tcp.sockets import create_connection_pair
+from repro.tcp.state import CaState
+from repro.units import msec, usec
+
+from tests.helpers import two_hosts
+
+
+def _figure4_scenario():
+    """Recreate Figure 4: a TDN switch with (a) delayed TDN-0 data in
+    flight and (b) one genuinely lost TDN-1 segment after the switch.
+    Returns (sim, client, server, held_seqs, dropped_seqs)."""
+    sim, a, b, ab, _ba = two_hosts(one_way_ns=usec(20))
+    held = []
+    dropped = []
+    original = ab.deliver
+
+    def impair(pkt):
+        if not pkt.payload_len:
+            original(pkt)
+            return
+        # Tail of TDN-0 data: delayed on the slow path (blue dashed).
+        if pkt.data_tdn == 0 and sim.now > usec(990) and len(held) < 6:
+            held.append(pkt.seq)
+            sim.schedule(usec(45), original, pkt)
+            return
+        # One early TDN-1 segment: a true loss (pink dashed).
+        if pkt.data_tdn == 1 and not dropped and not pkt.retransmission:
+            dropped.append(pkt.seq)
+            pkt.dropped = True
+            return
+        original(pkt)
+
+    ab.deliver = impair
+    client, server = create_connection_pair(
+        sim, a, b, connection_cls=TDTCPConnection, tdn_count=2
+    )
+    client.start_bulk()
+    sim.run(until=msec(1))
+    a.deliver(TDNNotification("tor0", a.address, tdn_id=1))
+    b.deliver(TDNNotification("tor1", b.address, tdn_id=1))
+    return sim, client, server, held, dropped
+
+
+class TestFigure4:
+    def test_only_the_true_loss_is_retransmitted(self):
+        sim, client, server, held, dropped = _figure4_scenario()
+        sim.run(until=msec(1) + usec(400))
+        assert held and dropped
+        retx_seqs = {
+            seg.seq
+            for seg in client.segments.values()
+            if seg.retx_count > 0
+        }
+        # The genuinely dropped TDN-1 segment was retransmitted...
+        assert dropped[0] in retx_seqs or client.snd_una > dropped[0]
+        # ...and none of the delayed TDN-0 segments were.
+        assert not (set(held) & retx_seqs)
+
+    def test_tdn1_enters_recovery_tdn0_stays_open(self):
+        sim, client, server, held, dropped = _figure4_scenario()
+        # Probe state shortly after the loss is detected.
+        deadline = msec(1) + usec(400)
+        states = {"tdn1_recovered": False, "tdn0_always_open": True}
+
+        def probe():
+            if client.paths[1].ca_state == CaState.RECOVERY:
+                states["tdn1_recovered"] = True
+            if client.paths[0].ca_state != CaState.OPEN:
+                states["tdn0_always_open"] = False
+            if sim.now < deadline:
+                sim.schedule(usec(5), probe)
+
+        sim.schedule(usec(5), probe)
+        sim.run(until=deadline)
+        assert states["tdn1_recovered"], "TDN 1 never entered recovery"
+        assert states["tdn0_always_open"], "TDN 0 was disturbed by TDN 1's loss"
+
+    def test_stream_completes_after_transition(self):
+        sim, client, server, held, dropped = _figure4_scenario()
+        sim.run(until=msec(4))
+        assert server.recv_buffer.ooo_bytes == 0
+        assert client.stats.spurious_retransmissions <= 1

@@ -1,0 +1,80 @@
+"""Delayed ACKs (RFC 1122): optional coalescing of receiver ACKs."""
+
+import pytest
+
+from repro.tcp.config import TCPConfig
+from repro.tcp.sockets import create_connection_pair
+from repro.units import msec, usec
+
+from tests.helpers import bulk_pair, two_hosts
+
+
+def count_acks(sim, ba):
+    acks = []
+    original = ba.deliver
+    ba.deliver = lambda p: (
+        acks.append(sim.now) if p.is_ack and p.payload_len == 0 else None,
+        original(p),
+    )
+    return acks
+
+
+class TestDelayedAck:
+    def test_disabled_by_default_acks_every_segment(self):
+        sim, a, b, _ab, ba = two_hosts()
+        acks = count_acks(sim, ba)
+        client, server = create_connection_pair(sim, a, b)
+        client.write(15_000)  # 10 segments
+        sim.run(until=msec(5))
+        assert len(acks) >= 10
+
+    def test_enabled_halves_ack_count(self):
+        sim, a, b, _ab, ba = two_hosts()
+        acks = count_acks(sim, ba)
+        cfg = TCPConfig(delayed_ack_ns=usec(500))
+        client, server = create_connection_pair(sim, a, b, config=cfg)
+        client.write(15_000)
+        sim.run(until=msec(5))
+        # Roughly every other segment plus the handshake ACK.
+        assert len(acks) <= 8
+
+    def test_timeout_flushes_odd_segment(self):
+        sim, a, b, _ab, ba = two_hosts()
+        acks = count_acks(sim, ba)
+        cfg = TCPConfig(delayed_ack_ns=usec(500))
+        client, server = create_connection_pair(sim, a, b, config=cfg)
+        client.write(1_500)  # a single segment: no pair to trigger an ACK
+        sim.run(until=msec(5))
+        assert acks  # the delack timer flushed it
+        assert client.snd_una == client.snd_nxt
+
+    def test_out_of_order_acked_immediately(self):
+        """Dup-ACK feedback must not be delayed — fast retransmit
+        depends on it."""
+        sim, a, b, ab, _ba = two_hosts()
+        dropped = []
+        original = ab.deliver
+
+        def drop_one(pkt):
+            if pkt.payload_len and pkt.seq == 1 + 1500 * 5 and not dropped:
+                dropped.append(pkt.seq)
+                pkt.dropped = True
+                return
+            original(pkt)
+
+        ab.deliver = drop_one
+        cfg = TCPConfig(delayed_ack_ns=usec(500))
+        client, server = bulk_pair(sim, a, b, config=cfg)
+        sim.run(until=msec(10))
+        assert dropped
+        assert client.stats.rtos == 0  # recovered via fast feedback
+        assert server.recv_buffer.ooo_bytes == 0
+
+    def test_bulk_throughput_unaffected(self):
+        sim, a, b, _ab, _ba = two_hosts()
+        cfg = TCPConfig(delayed_ack_ns=usec(500))
+        client, server = bulk_pair(sim, a, b, config=cfg)
+        sim.run(until=msec(20))
+        from repro.units import throughput_gbps
+
+        assert throughput_gbps(server.stats.bytes_delivered, msec(20)) > 8.5

@@ -1,0 +1,264 @@
+"""Extensions beyond the headline reproduction: extra CCAs, per-TDN
+CCAs, background traffic, the N-rack rotor schedule, sweeps, CLI."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.background import BackgroundTraffic
+from repro.core.tdtcp import TDTCPConnection
+from repro.experiments.cli import main as cli_main
+from repro.experiments.sweeps import day_length_sweep, duty_ratio_sweep
+from repro.rdcn.rotor import (
+    matching_index_for_pair,
+    round_robin_matchings,
+    schedule_for_pair,
+)
+from repro.sim import SeededRandom, Simulator
+from repro.tcp.cc import HighSpeedCC, WestwoodCC, make_congestion_control
+from repro.tcp.cc.highspeed import hstcp_a, hstcp_b
+from repro.tcp.sockets import create_connection_pair
+from repro.units import gbps, msec, usec
+
+from tests.helpers import two_hosts
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0
+
+    def now_ns(self):
+        return self.t
+
+    def advance(self, ns):
+        self.t += ns
+
+
+class TestHighSpeedCC:
+    def test_registered(self):
+        cc = make_congestion_control("highspeed", FakeClock())
+        assert isinstance(cc, HighSpeedCC)
+
+    def test_reno_regime_below_38(self):
+        assert hstcp_a(20) == 1.0
+        assert hstcp_b(20) == 0.5
+
+    def test_aggressive_above_38(self):
+        assert hstcp_a(1000) > 1.0
+        assert hstcp_b(1000) < 0.5
+
+    def test_monotone_response(self):
+        a_values = [hstcp_a(w) for w in (50, 200, 1000, 10_000)]
+        assert a_values == sorted(a_values)
+        b_values = [hstcp_b(w) for w in (50, 200, 1000, 10_000)]
+        assert b_values == sorted(b_values, reverse=True)
+
+    def test_large_window_reduction_is_gentle(self):
+        cc = HighSpeedCC(FakeClock(), initial_cwnd=1000)
+        cc.on_congestion_event()
+        assert cc.cwnd > 600  # b(1000) ~ 0.33, far gentler than 0.5
+
+    def test_growth_faster_than_reno_at_large_window(self):
+        cc = HighSpeedCC(FakeClock(), initial_cwnd=1000)
+        cc.ssthresh = 500  # congestion avoidance
+        cc.on_ack(1000, usec(100), 1000)
+        assert cc.cwnd > 1001.0  # reno would add exactly 1
+
+
+class TestWestwoodCC:
+    def test_registered(self):
+        cc = make_congestion_control("westwood", FakeClock())
+        assert isinstance(cc, WestwoodCC)
+
+    def test_bandwidth_estimate_converges(self):
+        clock = FakeClock()
+        cc = WestwoodCC(clock, initial_cwnd=10, mss=1500)
+        # 10 packets per 100 us = 1500*8*10 / 100us = 1.2 Gbps.
+        for _ in range(100):
+            clock.advance(usec(100))
+            cc.on_ack(10, usec(100), 10)
+        assert cc.bw_estimate_bps == pytest.approx(1.2e9, rel=0.3)
+
+    def test_loss_sets_window_to_bdp(self):
+        clock = FakeClock()
+        cc = WestwoodCC(clock, initial_cwnd=100, mss=1500)
+        for _ in range(100):
+            clock.advance(usec(100))
+            cc.on_ack(10, usec(100), 10)
+        cc.cwnd = 100
+        cc.on_congestion_event()
+        # BDP = 1.2 Gbps * 100 us / (8 * 1500) = 10 packets.
+        assert cc.ssthresh == pytest.approx(10, rel=0.5)
+
+    def test_loss_without_estimate_halves(self):
+        cc = WestwoodCC(FakeClock(), initial_cwnd=40)
+        cc.on_congestion_event()
+        assert cc.cwnd == 20
+
+
+class TestPerTDNCCAs:
+    def test_distinct_ccas_per_tdn(self):
+        sim, a, b, _ab, _ba = two_hosts()
+        client, server = create_connection_pair(
+            sim, a, b,
+            connection_cls=TDTCPConnection,
+            tdn_count=2,
+            cc_names=["reno", "cubic"],
+        )
+        sim.run(until=usec(300))
+        assert client.paths[0].cc.name == "reno"
+        assert client.paths[1].cc.name == "cubic"
+
+    def test_new_tdn_beyond_list_uses_default(self):
+        sim, a, b, _ab, _ba = two_hosts()
+        client, _server = create_connection_pair(
+            sim, a, b,
+            connection_cls=TDTCPConnection,
+            tdn_count=2,
+            cc_name="cubic",
+            cc_names=["reno", "dctcp"],
+        )
+        client.set_current_tdn(3)
+        assert client.paths[3].cc.name == "cubic"
+
+    def test_length_mismatch_rejected(self):
+        sim, a, b, _ab, _ba = two_hosts()
+        with pytest.raises(ValueError):
+            TDTCPConnection(sim, a, b.address, 5001, tdn_count=2, cc_names=["reno"])
+
+    def test_mixed_ccas_transfer(self):
+        sim, a, b, _ab, _ba = two_hosts()
+        client, server = create_connection_pair(
+            sim, a, b,
+            connection_cls=TDTCPConnection,
+            tdn_count=2,
+            cc_names=["cubic", "westwood"],
+        )
+        client.start_bulk()
+        sim.run(until=msec(5))
+        assert server.stats.bytes_delivered > 1_000_000
+
+
+class TestBackgroundTraffic:
+    def test_injects_packets(self):
+        sim, a, b, _ab, _ba = two_hosts()
+        bg = BackgroundTraffic(sim, a, b, rate_bps=gbps(1), rng=SeededRandom(3))
+        bg.start()
+        sim.run(until=msec(5))
+        assert bg.packets_sent > 100
+
+    def test_average_rate_near_target(self):
+        sim, a, b, _ab, _ba = two_hosts(rate_bps=gbps(10))
+        bg = BackgroundTraffic(sim, a, b, rate_bps=gbps(2), rng=SeededRandom(3))
+        bg.start()
+        sim.run(until=msec(20))
+        assert bg.average_rate_bps(msec(20)) == pytest.approx(2e9, rel=0.5)
+
+    def test_stop_halts_emission(self):
+        sim, a, b, _ab, _ba = two_hosts()
+        bg = BackgroundTraffic(sim, a, b, rate_bps=gbps(1), rng=SeededRandom(3))
+        bg.start()
+        sim.run(until=msec(2))
+        bg.stop()
+        sent = bg.packets_sent
+        sim.run(until=msec(4))
+        assert bg.packets_sent == sent
+
+    def test_competes_with_tcp(self):
+        # TCP alone vs TCP + heavy background on a 10G link.
+        def run(with_bg):
+            sim, a, b, ab, _ba = two_hosts(forward_queue=64)
+            client, server = create_connection_pair(sim, a, b)
+            client.start_bulk()
+            if with_bg:
+                bg = BackgroundTraffic(sim, a, b, rate_bps=gbps(5), rng=SeededRandom(3))
+                bg.start()
+            sim.run(until=msec(20))
+            return server.stats.bytes_delivered
+
+        alone = run(False)
+        contended = run(True)
+        assert contended < alone * 0.95
+
+    def test_invalid_rate(self):
+        sim, a, b, _ab, _ba = two_hosts()
+        with pytest.raises(ValueError):
+            BackgroundTraffic(sim, a, b, rate_bps=0, rng=SeededRandom(1))
+
+
+class TestRotorSchedule:
+    def test_eight_racks_seven_matchings(self):
+        matchings = round_robin_matchings(8)
+        assert len(matchings) == 7
+        for matching in matchings:
+            assert len(matching) == 4  # perfect matching
+
+    @given(st.sampled_from([2, 4, 6, 8, 10, 12]))
+    @settings(max_examples=10)
+    def test_every_pair_exactly_once(self, n_racks):
+        matchings = round_robin_matchings(n_racks)
+        seen = [pair for matching in matchings for pair in matching]
+        assert len(seen) == len(set(seen))
+        expected = n_racks * (n_racks - 1) // 2
+        assert len(seen) == expected
+
+    def test_odd_rack_count_rejected(self):
+        with pytest.raises(ValueError):
+            round_robin_matchings(7)
+
+    def test_matching_index_lookup(self):
+        index = matching_index_for_pair(8, 0, 3)
+        matchings = round_robin_matchings(8)
+        assert (0, 3) in matchings[index]
+
+    def test_pair_schedule_is_papers_ratio(self):
+        schedule = schedule_for_pair(8, 0, 1, usec(180), usec(20))
+        tdns = [day.tdn_id for day in schedule.days]
+        assert len(tdns) == 7
+        assert tdns.count(1) == 1
+        assert tdns.count(0) == 6
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(ValueError):
+            matching_index_for_pair(8, 3, 3)
+
+
+class TestSweeps:
+    def test_duty_ratio_sweep_smoke(self):
+        result = duty_ratio_sweep(
+            packet_days=(2, 6), variants=("cubic", "tdtcp"),
+            weeks=8, warmup_weeks=2, n_flows=2,
+        )
+        table = result.by_label()
+        assert set(table) == {"2:1", "6:1"}
+        for row in table.values():
+            assert row["tdtcp"] > 0 and row["cubic"] > 0
+        assert "duty-ratio-sweep" in result.render()
+
+    def test_day_length_sweep_smoke(self):
+        result = day_length_sweep(
+            day_us_values=(180,), variants=("tdtcp",),
+            weeks=8, warmup_weeks=2, n_flows=2,
+        )
+        assert len(result.points) == 1
+        assert result.points[0].throughput_gbps > 0
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "sweep-ratio" in out
+
+    def test_unknown_target(self, capsys):
+        assert cli_main(["fig99"]) == 2
+
+    def test_fig2_small(self, capsys, tmp_path):
+        code = cli_main([
+            "fig2", "--weeks", "6", "--warmup", "2", "--flows", "2",
+            "--csv", str(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "steady-state throughput" in out
+        assert list(tmp_path.glob("fig2_*.csv"))

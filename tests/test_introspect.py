@@ -1,0 +1,53 @@
+"""ss-style connection introspection."""
+
+import pytest
+
+from repro.core.tdtcp import TDTCPConnection
+from repro.tcp.introspect import describe_connection, socket_summary
+from repro.tcp.sockets import create_connection_pair
+from repro.units import msec
+
+from tests.helpers import bulk_pair, two_hosts
+
+
+class TestDescribe:
+    def test_plain_tcp_fields(self):
+        sim, a, b, _ab, _ba = two_hosts()
+        client, server = bulk_pair(sim, a, b)
+        sim.run(until=msec(5))
+        text = describe_connection(client)
+        assert "established" in text
+        assert f"{a.address}:{client.local_port}" in text
+        assert "cwnd:" in text
+        assert "bytes_acked:" in text
+        assert "tdn:" not in text  # single path: no TDN labels
+
+    def test_tdtcp_shows_per_tdn_lines(self):
+        sim, a, b, _ab, _ba = two_hosts()
+        client, server = create_connection_pair(
+            sim, a, b, connection_cls=TDTCPConnection, tdn_count=2
+        )
+        client.start_bulk()
+        sim.run(until=msec(5))
+        text = describe_connection(client)
+        assert "tdn:0" in text and "tdn:1" in text
+        assert "current_tdn:0" in text
+        assert "switches:" in text
+
+    def test_receiver_side_counts(self):
+        sim, a, b, _ab, _ba = two_hosts()
+        client, server = create_connection_pair(sim, a, b)
+        client.write(30_000)
+        sim.run(until=msec(5))
+        text = describe_connection(server)
+        assert "bytes_received:29.3KB" in text
+
+    def test_summary_lists_all(self):
+        sim, a, b, _ab, _ba = two_hosts()
+        client, server = bulk_pair(sim, a, b)
+        sim.run(until=msec(2))
+        text = socket_summary([client, server])
+        assert text.count("established") >= 2
+
+    def test_summary_empty(self):
+        assert socket_summary([]) == "(no connections)"

@@ -1,0 +1,124 @@
+"""Public API surface: imports, exports, docstrings."""
+
+import importlib
+import inspect
+
+import pytest
+
+MODULES = [
+    "repro",
+    "repro.units",
+    "repro.sim",
+    "repro.sim.events",
+    "repro.sim.simulator",
+    "repro.sim.timers",
+    "repro.sim.rng",
+    "repro.sim.trace",
+    "repro.net",
+    "repro.net.addressing",
+    "repro.net.packet",
+    "repro.net.link",
+    "repro.net.queues",
+    "repro.net.node",
+    "repro.net.switch",
+    "repro.net.capture",
+    "repro.net.pcap",
+    "repro.rdcn",
+    "repro.rdcn.config",
+    "repro.rdcn.schedule",
+    "repro.rdcn.fabric",
+    "repro.rdcn.notifier",
+    "repro.rdcn.topology",
+    "repro.rdcn.rotor",
+    "repro.rdcn.opera",
+    "repro.tcp",
+    "repro.tcp.config",
+    "repro.tcp.ranges",
+    "repro.tcp.buffers",
+    "repro.tcp.sack" if False else "repro.tcp.options",
+    "repro.tcp.rtt",
+    "repro.tcp.state",
+    "repro.tcp.rack",
+    "repro.tcp.connection",
+    "repro.tcp.sockets",
+    "repro.tcp.introspect",
+    "repro.tcp.cc",
+    "repro.tcp.cc.base",
+    "repro.tcp.cc.reno",
+    "repro.tcp.cc.cubic",
+    "repro.tcp.cc.dctcp",
+    "repro.tcp.cc.highspeed",
+    "repro.tcp.cc.westwood",
+    "repro.core",
+    "repro.core.tdtcp",
+    "repro.core.tdn_state",
+    "repro.core.reordering",
+    "repro.core.rtt",
+    "repro.mptcp",
+    "repro.mptcp.connection",
+    "repro.mptcp.subflow",
+    "repro.mptcp.scheduler",
+    "repro.retcp",
+    "repro.retcp.retcp",
+    "repro.retcp.dynbuf",
+    "repro.apps",
+    "repro.apps.bulk",
+    "repro.apps.workload",
+    "repro.apps.background",
+    "repro.apps.shortflows",
+    "repro.apps.tracegen",
+    "repro.apps.incast",
+    "repro.metrics",
+    "repro.metrics.collectors",
+    "repro.metrics.seqgraph",
+    "repro.metrics.cdf",
+    "repro.metrics.fairness",
+    "repro.experiments",
+    "repro.experiments.config",
+    "repro.experiments.variants",
+    "repro.experiments.runner",
+    "repro.experiments.figures",
+    "repro.experiments.report",
+    "repro.experiments.sweeps",
+    "repro.experiments.cli",
+]
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_module_imports_and_documented(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} is missing a module docstring"
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["repro", "repro.sim", "repro.net", "repro.rdcn", "repro.tcp",
+     "repro.core", "repro.mptcp", "repro.retcp", "repro.apps",
+     "repro.metrics"],
+)
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol}"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__
+
+
+def test_public_classes_have_docstrings():
+    from repro.core import TDTCPConnection
+    from repro.tcp import TCPConnection
+    from repro.mptcp import MPTCPConnection
+    from repro.retcp import ReTCPConnection
+
+    for cls in (TDTCPConnection, TCPConnection, MPTCPConnection, ReTCPConnection):
+        assert inspect.getdoc(cls)
+        public = [
+            m for name, m in inspect.getmembers(cls, predicate=inspect.isfunction)
+            if not name.startswith("_")
+        ]
+        for method in public:
+            assert inspect.getdoc(method), f"{cls.__name__}.{method.__name__} undocumented"

@@ -1,0 +1,144 @@
+"""Fabric: time-multiplexed uplink, gating, circuit marks."""
+
+import pytest
+
+from repro.net.packet import Packet, TCPSegment
+from repro.net.queues import DropTailQueue
+from repro.rdcn.fabric import NetworkPath, RackUplink
+from repro.sim import Simulator
+from repro.units import gbps, usec
+
+
+def make_uplink(sim, deliver, capacity=16):
+    paths = {
+        0: NetworkPath(0, gbps(10), usec(40), is_circuit=False, name="packet"),
+        1: NetworkPath(1, gbps(100), usec(10), is_circuit=True, name="optical"),
+    }
+    return RackUplink(sim, paths, DropTailQueue(capacity), deliver)
+
+
+class TestNetworkPath:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkPath(0, 0, 10)
+        with pytest.raises(ValueError):
+            NetworkPath(0, 1e9, -1)
+
+
+class TestRackUplink:
+    def test_gated_until_active(self):
+        sim = Simulator()
+        got = []
+        uplink = make_uplink(sim, lambda p: got.append(sim.now))
+        uplink.enqueue(Packet("a", "b", 1500))
+        sim.run(until=usec(100))
+        assert got == []  # night: nothing moves
+        uplink.set_active(0)
+        sim.run(until=usec(200))
+        assert len(got) == 1
+
+    def test_packet_path_timing(self):
+        sim = Simulator()
+        got = []
+        uplink = make_uplink(sim, lambda p: got.append(sim.now))
+        uplink.set_active(0)
+        uplink.enqueue(Packet("a", "b", 1500))
+        sim.run()
+        # 1.2 us serialization at 10 Gbps + 40 us propagation.
+        assert got == [usec(40) + 1200]
+
+    def test_optical_path_faster(self):
+        sim = Simulator()
+        got = []
+        uplink = make_uplink(sim, lambda p: got.append(sim.now))
+        uplink.set_active(1)
+        uplink.enqueue(Packet("a", "b", 1500))
+        sim.run()
+        assert got == [usec(10) + 120]
+
+    def test_network_id_stamped(self):
+        sim = Simulator()
+        got = []
+        uplink = make_uplink(sim, got.append)
+        uplink.set_active(1)
+        pkt = Packet("a", "b", 1500)
+        uplink.enqueue(pkt)
+        sim.run()
+        assert pkt.network_id == 1
+
+    def test_circuit_mark_only_on_circuit(self):
+        sim = Simulator()
+        uplink = make_uplink(sim, lambda p: None)
+        seg_pkt = TCPSegment("a", "b", 1, 2, payload_len=100)
+        seg_opt = TCPSegment("a", "b", 1, 2, payload_len=100)
+        uplink.set_active(0)
+        uplink.enqueue(seg_pkt)
+        sim.run()
+        uplink.set_active(1)
+        uplink.enqueue(seg_opt)
+        sim.run()
+        assert seg_pkt.circuit_mark is False
+        assert seg_opt.circuit_mark is True
+
+    def test_night_mid_serialization_still_delivers(self):
+        sim = Simulator()
+        got = []
+        uplink = make_uplink(sim, lambda p: got.append(sim.now))
+        uplink.set_active(0)
+        uplink.enqueue(Packet("a", "b", 1500))  # 1.2 us serialization
+        sim.run(until=500)
+        uplink.set_active(None)  # night begins mid-serialization
+        sim.run()
+        assert len(got) == 1  # the packet was on the wire
+
+    def test_night_stops_queue_service(self):
+        sim = Simulator()
+        got = []
+        uplink = make_uplink(sim, lambda p: got.append(p))
+        uplink.set_active(0)
+        for _ in range(5):
+            uplink.enqueue(Packet("a", "b", 1500))
+        sim.run(until=1100)  # first packet still serializing (1.2 us)
+        uplink.set_active(None)
+        sim.run(until=usec(500))
+        assert len(got) == 1
+        assert len(uplink.queue) == 4
+
+    def test_voq_overflow_drops(self):
+        sim = Simulator()
+        uplink = make_uplink(sim, lambda p: None, capacity=2)
+        results = [uplink.enqueue(Packet("a", "b", 1500)) for _ in range(4)]
+        assert results == [True, True, False, False]
+        assert uplink.queue.drops == 2
+
+    def test_rate_switch_between_packets(self):
+        sim = Simulator()
+        got = []
+        uplink = make_uplink(sim, lambda p: (got.append((sim.now, p.network_id))))
+        uplink.set_active(0)
+        uplink.enqueue(Packet("a", "b", 1500))
+        uplink.enqueue(Packet("a", "b", 1500))
+        sim.run(until=1100)  # first packet still serializing, second waiting
+        uplink.set_active(1)
+        sim.run()
+        # The second packet rides the faster optical path and overtakes
+        # the first — exactly the cross-TDN reordering of §3.4.
+        assert [net for _t, net in got] == [1, 0]
+        assert got[0][0] < got[1][0]
+
+    def test_per_tdn_counters(self):
+        sim = Simulator()
+        uplink = make_uplink(sim, lambda p: None)
+        uplink.set_active(0)
+        uplink.enqueue(Packet("a", "b", 1500))
+        sim.run()
+        uplink.set_active(1)
+        uplink.enqueue(Packet("a", "b", 1500))
+        sim.run()
+        assert uplink.per_tdn_tx == {0: 1, 1: 1}
+
+    def test_unknown_tdn_rejected(self):
+        sim = Simulator()
+        uplink = make_uplink(sim, lambda p: None)
+        with pytest.raises(KeyError):
+            uplink.set_active(7)

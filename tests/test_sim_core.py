@@ -1,0 +1,238 @@
+"""Simulator core: event queue, clock, timers, RNG, traces."""
+
+import pytest
+
+from repro.sim import ListTraceSink, NullTraceSink, SeededRandom, Simulator, Timer
+from repro.sim.events import EventQueue
+
+
+class TestEventQueue:
+    def test_fifo_order_same_time(self):
+        q = EventQueue()
+        order = []
+        q.push(10, order.append, ("a",))
+        q.push(10, order.append, ("b",))
+        q.push(10, order.append, ("c",))
+        while True:
+            event = q.pop()
+            if event is None:
+                break
+            event.fn(*event.args)
+        assert order == ["a", "b", "c"]
+
+    def test_time_order(self):
+        q = EventQueue()
+        q.push(30, lambda: None)
+        q.push(10, lambda: None)
+        q.push(20, lambda: None)
+        times = []
+        while True:
+            e = q.pop()
+            if e is None:
+                break
+            times.append(e.time)
+        assert times == [10, 20, 30]
+
+    def test_cancelled_events_skipped(self):
+        q = EventQueue()
+        e1 = q.push(10, lambda: None)
+        q.push(20, lambda: None)
+        e1.cancel()
+        q.note_cancelled()
+        assert len(q) == 1
+        popped = q.pop()
+        assert popped is not None and popped.time == 20
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        e1 = q.push(10, lambda: None)
+        q.push(20, lambda: None)
+        e1.cancel()
+        q.note_cancelled()
+        assert q.peek_time() == 20
+
+    def test_len_counts_live(self):
+        q = EventQueue()
+        q.push(1, lambda: None)
+        q.push(2, lambda: None)
+        assert len(q) == 2
+        q.pop()
+        assert len(q) == 1
+
+
+class TestSimulator:
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(500, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [500]
+        assert sim.now == 500
+
+    def test_run_until_advances_clock(self):
+        sim = Simulator()
+        sim.run(until=1_000)
+        assert sim.now == 1_000
+
+    def test_run_until_leaves_future_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2_000, lambda: fired.append(True))
+        sim.run(until=1_000)
+        assert not fired
+        assert sim.pending_events == 1
+        sim.run(until=3_000)
+        assert fired
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1, lambda: None)
+
+    def test_at_in_past_rejected(self):
+        sim = Simulator()
+        sim.run(until=100)
+        with pytest.raises(ValueError):
+            sim.at(50, lambda: None)
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(10, lambda: fired.append(True))
+        sim.cancel(event)
+        sim.run()
+        assert not fired
+
+    def test_stop_inside_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(20, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(i + 1, lambda i=i: fired.append(i))
+        processed = sim.run(max_events=3)
+        assert processed == 3
+        assert fired == [0, 1, 2]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            seen.append(("outer", sim.now))
+            sim.schedule(5, inner)
+
+        def inner():
+            seen.append(("inner", sim.now))
+
+        sim.schedule(10, outer)
+        sim.run()
+        assert seen == [("outer", 10), ("inner", 15)]
+
+    def test_processed_events_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(i, lambda: None)
+        sim.run()
+        assert sim.processed_events == 4
+
+
+class TestTimer:
+    def test_fires_once(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(100)
+        sim.run()
+        assert fired == [100]
+        assert not timer.armed
+
+    def test_restart_moves_deadline(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(100)
+        timer.start(200)
+        sim.run()
+        assert fired == [200]
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(True))
+        timer.start(100)
+        timer.cancel()
+        sim.run()
+        assert not fired
+
+    def test_deadline_property(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        assert timer.deadline is None
+        timer.start(42)
+        assert timer.deadline == 42
+
+    def test_start_at_absolute(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start_at(77)
+        sim.run()
+        assert fired == [77]
+
+    def test_args_passed(self):
+        sim = Simulator()
+        got = []
+        timer = Timer(sim, lambda x, y: got.append((x, y)))
+        timer.start(10, "a", 3)
+        sim.run()
+        assert got == [("a", 3)]
+
+
+class TestSeededRandom:
+    def test_deterministic(self):
+        a = SeededRandom(42)
+        b = SeededRandom(42)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_fork_independent_and_stable(self):
+        a1 = SeededRandom(42).fork("x")
+        a2 = SeededRandom(42).fork("x")
+        b = SeededRandom(42).fork("y")
+        seq1 = [a1.random() for _ in range(3)]
+        assert seq1 == [a2.random() for _ in range(3)]
+        assert seq1 != [b.random() for _ in range(3)]
+
+    def test_chance_extremes(self):
+        rng = SeededRandom(1)
+        assert rng.chance(0.0) is False
+        assert rng.chance(1.0) is True
+
+    def test_jitter_bounds(self):
+        rng = SeededRandom(1)
+        for _ in range(50):
+            assert 0 <= rng.jitter_ns(100) <= 100
+        assert rng.jitter_ns(0) == 0
+
+
+class TestTraceSinks:
+    def test_list_sink_records_per_key(self):
+        sink = ListTraceSink()
+        sink.record(1, "a", 10)
+        sink.record(2, "a", 20)
+        sink.record(1, "b", 5)
+        assert sink.series("a") == [(1, 10), (2, 20)]
+        assert sink.series("b") == [(1, 5)]
+        assert sink.series("missing") == []
+        assert sink.keys() == ["a", "b"]
+
+    def test_null_sink_discards(self):
+        sink = NullTraceSink()
+        sink.record(1, "a", 10)  # must not raise
+        assert sink.enabled is False

@@ -1,0 +1,293 @@
+"""TCP connection: handshake, transfer, recovery, timers, FIN."""
+
+import pytest
+
+from repro.net.link import Link
+from repro.net.node import Host
+from repro.net.packet import TCPSegment
+from repro.sim import Simulator
+from repro.tcp.config import TCPConfig
+from repro.tcp.connection import CLOSED, ESTABLISHED, TCPConnection
+from repro.tcp.sockets import create_connection_pair
+from repro.tcp.state import CaState
+from repro.units import gbps, msec, usec, throughput_gbps
+
+from tests.helpers import bulk_pair, two_hosts
+
+
+class TestHandshake:
+    def test_three_way_handshake(self):
+        sim, a, b, _ab, _ba = two_hosts()
+        client, server = create_connection_pair(sim, a, b)
+        sim.run(until=usec(200))
+        assert client.state == ESTABLISHED
+        assert server.state == ESTABLISHED
+
+    def test_on_established_callback(self):
+        sim, a, b, _ab, _ba = two_hosts()
+        fired = []
+        client, server = create_connection_pair(sim, a, b, connect=False)
+        client.on_established = lambda: fired.append(sim.now)
+        client.connect()
+        sim.run(until=usec(200))
+        assert len(fired) == 1
+
+    def test_syn_loss_recovered_by_rto(self):
+        sim, a, b, ab, _ba = two_hosts()
+        # Drop the very first packet on the forward link.
+        original = ab.deliver
+        state = {"dropped": False}
+
+        def lossy(pkt):
+            if not state["dropped"]:
+                state["dropped"] = True
+                pkt.dropped = True
+                return
+            original(pkt)
+
+        ab.deliver = lossy
+        client, server = create_connection_pair(sim, a, b)
+        sim.run(until=msec(20))
+        assert client.state == ESTABLISHED
+        assert server.state == ESTABLISHED
+        assert client.stats.rtos >= 1
+
+    def test_syn_ack_loss_recovered(self):
+        sim, a, b, _ab, ba = two_hosts()
+        original = ba.deliver
+        state = {"dropped": False}
+
+        def lossy(pkt):
+            if pkt.syn and not state["dropped"]:
+                state["dropped"] = True
+                pkt.dropped = True
+                return
+            original(pkt)
+
+        ba.deliver = lossy
+        client, server = create_connection_pair(sim, a, b)
+        sim.run(until=msec(30))
+        assert client.state == ESTABLISHED
+        assert server.state == ESTABLISHED
+
+    def test_connect_from_established_rejected(self):
+        sim, a, b, _ab, _ba = two_hosts()
+        client, _server = create_connection_pair(sim, a, b)
+        sim.run(until=usec(200))
+        with pytest.raises(RuntimeError):
+            client.connect()
+
+
+class TestBulkTransfer:
+    def test_fills_the_pipe(self):
+        sim, a, b, _ab, _ba = two_hosts()
+        client, server = bulk_pair(sim, a, b)
+        sim.run(until=msec(20))
+        thr = throughput_gbps(server.stats.bytes_delivered, msec(20))
+        assert thr > 9.0  # 10 Gbps link
+
+    def test_fixed_transfer_completes(self):
+        sim, a, b, _ab, _ba = two_hosts()
+        client, server = create_connection_pair(sim, a, b)
+        client.write(150_000)
+        sim.run(until=msec(20))
+        assert server.stats.bytes_delivered == 150_000
+        assert client.snd_una == client.snd_nxt
+
+    def test_delivery_callback_monotone(self):
+        sim, a, b, _ab, _ba = two_hosts()
+        client, server = create_connection_pair(sim, a, b)
+        seen = []
+        server.on_delivered = lambda t, rcv: seen.append(rcv)
+        client.write(50_000)
+        sim.run(until=msec(10))
+        assert seen == sorted(seen)
+        assert seen[-1] == 50_000
+
+    def test_mss_respected(self):
+        sim, a, b, ab, _ba = two_hosts()
+        sizes = []
+        original = ab.deliver
+        ab.deliver = lambda p: (sizes.append(p.payload_len), original(p))
+        client, _server = bulk_pair(sim, a, b, config=TCPConfig(mss=1000))
+        sim.run(until=msec(1))
+        assert max(sizes) == 1000
+
+    def test_receive_window_limits_inflight(self):
+        sim, a, b, _ab, _ba = two_hosts()
+        cfg = TCPConfig(rwnd_packets=4, mss=1500)
+        client, _server = bulk_pair(sim, a, b, config=cfg)
+        sim.run(until=msec(5))
+        assert client.snd_nxt - client.snd_una <= 4 * 1500 + 1500
+
+
+class TestLossRecovery:
+    def _lossy_pair(self, drop_seqs, queue=None):
+        sim, a, b, ab, _ba = two_hosts(forward_queue=queue)
+        dropped = []
+        original = ab.deliver
+
+        def lossy(pkt):
+            if pkt.payload_len and pkt.seq in drop_seqs and pkt.seq not in dropped:
+                dropped.append(pkt.seq)
+                pkt.dropped = True
+                return
+            original(pkt)
+
+        ab.deliver = lossy
+        client, server = bulk_pair(sim, a, b)
+        return sim, client, server
+
+    def test_single_loss_fast_recovery(self):
+        sim, client, server = self._lossy_pair({1 + 1500 * 5})
+        sim.run(until=msec(10))
+        assert client.stats.retransmissions >= 1
+        assert client.stats.rtos == 0  # recovered without timeout
+        assert client.stats.fast_recoveries >= 1
+        # The stream is complete at the receiver.
+        assert server.recv_buffer.ooo_bytes == 0
+        assert server.stats.bytes_delivered > 1_000_000
+
+    def test_burst_loss_recovered(self):
+        drop = {1 + 1500 * k for k in range(5, 12)}
+        sim, client, server = self._lossy_pair(drop)
+        sim.run(until=msec(20))
+        assert server.recv_buffer.ooo_bytes == 0
+        assert client.stats.retransmissions >= 7
+        assert server.stats.bytes_delivered > 1_000_000
+
+    def test_queue_overflow_losses_recovered(self):
+        sim, a, b, ab, _ba = two_hosts(forward_queue=16)
+        client, server = bulk_pair(sim, a, b)
+        sim.run(until=msec(30))
+        assert ab.drops > 0
+        assert client.stats.retransmissions >= ab.drops
+        assert server.recv_buffer.ooo_bytes == 0
+        thr = throughput_gbps(server.stats.bytes_delivered, msec(30))
+        assert thr > 8.5  # losses handled without collapsing
+
+    def test_cwnd_reduced_on_loss(self):
+        sim, client, server = self._lossy_pair({1 + 1500 * 50})
+        sim.run(until=msec(10))
+        path = client.paths[0]
+        assert path.cc.ssthresh != float("inf")
+
+    def test_state_machine_returns_to_open(self):
+        sim, client, server = self._lossy_pair({1 + 1500 * 5})
+        sim.run(until=msec(10))
+        assert client.paths[0].ca_state == CaState.OPEN
+
+
+class TestRTO:
+    def test_total_blackhole_triggers_rto(self):
+        sim, a, b, ab, _ba = two_hosts()
+        client, server = bulk_pair(sim, a, b)
+        sim.run(until=msec(2))
+        # Blackhole everything from now on.
+        ab.deliver = lambda pkt: None
+        before = client.stats.rtos
+        sim.run(until=msec(20))
+        assert client.stats.rtos > before
+        assert client.paths[0].cc.cwnd <= 2
+
+    def test_rto_backoff_doubles(self):
+        sim, a, b, ab, _ba = two_hosts()
+        client, _server = bulk_pair(sim, a, b)
+        sim.run(until=msec(2))
+        ab.deliver = lambda pkt: None
+        sim.run(until=msec(40))
+        assert client._rto_backoff >= 2
+
+    def test_recovery_after_blackhole_heals(self):
+        sim, a, b, ab, _ba = two_hosts()
+        client, server = bulk_pair(sim, a, b)
+        sim.run(until=msec(2))
+        original, ab.deliver = ab.deliver, lambda pkt: None
+        sim.run(until=msec(6))
+        ab.deliver = original
+        delivered_before = server.stats.bytes_delivered
+        sim.run(until=msec(30))
+        assert server.stats.bytes_delivered > delivered_before
+        assert server.recv_buffer.ooo_bytes == 0
+
+
+class TestFin:
+    def test_clean_close(self):
+        sim, a, b, _ab, _ba = two_hosts()
+        client, server = create_connection_pair(sim, a, b)
+        client.write(30_000)
+        client.close()
+        sim.run(until=msec(10))
+        assert server.stats.bytes_delivered == 30_000
+        assert client.state == CLOSED
+        assert server.state == "close-wait"
+
+    def test_peer_fin_callback(self):
+        sim, a, b, _ab, _ba = two_hosts()
+        client, server = create_connection_pair(sim, a, b)
+        fired = []
+        server.on_peer_fin = lambda: fired.append(True)
+        client.write(1000)
+        client.close()
+        sim.run(until=msec(10))
+        assert fired == [True]
+
+
+class TestECN:
+    def test_ece_echo_reduces_window(self):
+        sim, a, b, ab, _ba = two_hosts()
+        cfg = TCPConfig(ecn_enabled=True)
+        client, server = bulk_pair(sim, a, b, cc_name="reno", config=cfg)
+        sim.run(until=msec(1))
+        # Mark a data packet CE in flight by wrapping the link.
+        original = ab.deliver
+
+        def marker(pkt):
+            if pkt.payload_len:
+                pkt.ce = True
+            original(pkt)
+
+        ab.deliver = marker
+        cwnd_before = client.paths[0].cc.cwnd
+        sim.run(until=msec(2))
+        assert client.stats.ecn_reductions >= 1
+        assert client.paths[0].cc.cwnd < cwnd_before * 1.5
+
+    def test_no_ecn_without_capability(self):
+        sim, a, b, ab, _ba = two_hosts()
+        client, _server = bulk_pair(sim, a, b, cc_name="reno")
+        original = ab.deliver
+
+        def marker(pkt):
+            pkt.ce = True  # marked, but flow is not ECN-capable
+            original(pkt)
+
+        ab.deliver = marker
+        sim.run(until=msec(2))
+        assert client.stats.ecn_reductions == 0
+
+
+class TestSpuriousAccounting:
+    def test_reordering_counted_not_lost(self):
+        """Artificial reordering on the link: SACK holes appear, and
+        any retransmissions get flagged spurious via ground truth."""
+        sim, a, b, ab, _ba = two_hosts()
+        held = []
+        original = ab.deliver
+
+        def reorder(pkt):
+            # Hold every 20th data packet for 300 us.
+            if pkt.payload_len and (pkt.seq // 1500) % 20 == 5:
+                held.append(pkt)
+                sim.schedule(usec(300), original, pkt)
+                return
+            original(pkt)
+
+        ab.deliver = reorder
+        client, server = bulk_pair(sim, a, b)
+        sim.run(until=msec(20))
+        assert held
+        assert client.stats.reordering_events
+        # Ground truth: any retransmission of a held packet is spurious.
+        if client.stats.retransmissions:
+            assert client.stats.spurious_retransmissions > 0

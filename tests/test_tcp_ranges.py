@@ -1,0 +1,152 @@
+"""RangeSet: unit and property-based tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tcp.ranges import RangeSet
+
+
+class TestRangeSetBasics:
+    def test_empty(self):
+        rs = RangeSet()
+        assert not rs
+        assert rs.coverage() == 0
+        assert rs.ranges() == []
+
+    def test_single_add(self):
+        rs = RangeSet()
+        assert rs.add(10, 20) == (10, 20)
+        assert rs.ranges() == [(10, 20)]
+        assert rs.coverage() == 10
+
+    def test_empty_range_ignored(self):
+        rs = RangeSet()
+        rs.add(5, 5)
+        assert not rs
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            RangeSet().add(10, 5)
+
+    def test_merge_overlapping(self):
+        rs = RangeSet([(0, 10), (5, 15)])
+        assert rs.ranges() == [(0, 15)]
+
+    def test_merge_adjacent(self):
+        rs = RangeSet([(0, 10), (10, 20)])
+        assert rs.ranges() == [(0, 20)]
+
+    def test_disjoint_stay_separate(self):
+        rs = RangeSet([(0, 10), (20, 30)])
+        assert rs.ranges() == [(0, 10), (20, 30)]
+
+    def test_bridge_merge(self):
+        rs = RangeSet([(0, 10), (20, 30)])
+        merged = rs.add(8, 22)
+        assert merged == (0, 30)
+        assert rs.ranges() == [(0, 30)]
+
+    def test_contains_point(self):
+        rs = RangeSet([(10, 20)])
+        assert rs.contains_point(10)
+        assert rs.contains_point(19)
+        assert not rs.contains_point(20)
+        assert not rs.contains_point(9)
+
+    def test_covers(self):
+        rs = RangeSet([(0, 10), (20, 30)])
+        assert rs.covers(2, 8)
+        assert rs.covers(0, 10)
+        assert not rs.covers(5, 25)
+        assert rs.covers(7, 7)  # empty range trivially covered
+
+    def test_remove_below(self):
+        rs = RangeSet([(0, 10), (20, 30)])
+        rs.remove_below(5)
+        assert rs.ranges() == [(5, 10), (20, 30)]
+        rs.remove_below(15)
+        assert rs.ranges() == [(20, 30)]
+        rs.remove_below(100)
+        assert rs.ranges() == []
+
+    def test_first_range_at_or_after(self):
+        rs = RangeSet([(0, 10), (20, 30)])
+        assert rs.first_range_at_or_after(0) == (0, 10)
+        assert rs.first_range_at_or_after(15) == (20, 30)
+        with pytest.raises(LookupError):
+            rs.first_range_at_or_after(30)
+
+    def test_gaps_between(self):
+        rs = RangeSet([(10, 20), (30, 40)])
+        assert rs.gaps_between(0, 50) == [(0, 10), (20, 30), (40, 50)]
+        assert rs.gaps_between(10, 40) == [(20, 30)]
+        assert rs.gaps_between(12, 18) == []
+        assert RangeSet().gaps_between(0, 5) == [(0, 5)]
+
+    def test_equality(self):
+        assert RangeSet([(0, 5)]) == RangeSet([(0, 3), (3, 5)])
+
+
+ranges_strategy = st.lists(
+    st.tuples(st.integers(0, 300), st.integers(1, 40)).map(lambda t: (t[0], t[0] + t[1])),
+    min_size=0,
+    max_size=25,
+)
+
+
+class TestRangeSetProperties:
+    @given(ranges_strategy)
+    @settings(max_examples=200)
+    def test_invariants_sorted_disjoint_nonempty(self, ranges):
+        rs = RangeSet(ranges)
+        out = rs.ranges()
+        for start, end in out:
+            assert start < end
+        for (s1, e1), (s2, e2) in zip(out, out[1:]):
+            assert e1 < s2  # disjoint and non-adjacent
+
+    @given(ranges_strategy)
+    @settings(max_examples=200)
+    def test_coverage_matches_set_semantics(self, ranges):
+        rs = RangeSet(ranges)
+        expected = set()
+        for start, end in ranges:
+            expected.update(range(start, end))
+        assert rs.coverage() == len(expected)
+        for point in list(expected)[:50]:
+            assert rs.contains_point(point)
+
+    @given(ranges_strategy, st.integers(0, 340))
+    @settings(max_examples=200)
+    def test_remove_below_drops_exactly(self, ranges, threshold):
+        rs = RangeSet(ranges)
+        expected = set()
+        for start, end in ranges:
+            expected.update(range(start, end))
+        rs.remove_below(threshold)
+        kept = {p for p in expected if p >= threshold}
+        assert rs.coverage() == len(kept)
+
+    @given(ranges_strategy)
+    @settings(max_examples=100)
+    def test_insertion_order_irrelevant(self, ranges):
+        forward = RangeSet(ranges)
+        backward = RangeSet(reversed(ranges))
+        assert forward == backward
+
+    @given(ranges_strategy, st.integers(0, 340), st.integers(0, 340))
+    @settings(max_examples=200)
+    def test_gaps_partition_interval(self, ranges, a, b):
+        start, end = min(a, b), max(a, b)
+        rs = RangeSet(ranges)
+        gaps = rs.gaps_between(start, end)
+        # Gaps plus covered points partition [start, end).
+        covered = set()
+        for r_start, r_end in rs.ranges():
+            covered.update(range(max(r_start, start), min(r_end, end)))
+        gap_points = set()
+        for g_start, g_end in gaps:
+            gap_points.update(range(g_start, g_end))
+        assert covered | gap_points == set(range(start, end))
+        assert covered & gap_points == set()

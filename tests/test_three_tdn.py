@@ -1,0 +1,118 @@
+"""Generality: an RDCN with three TDNs (§6: "TDTCP is general,
+supporting an arbitrary number of distinct TDNs with various
+properties, not just the bimodal fabric reTCP presumes").
+
+TDN 0: 10 Gbps packet network; TDN 1: 100 Gbps circuit; TDN 2: a
+40 Gbps mid-tier circuit (e.g. an older OCS generation).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.tdtcp import TDTCPConnection
+from repro.rdcn.config import RDCNConfig
+from repro.rdcn.fabric import NetworkPath
+from repro.rdcn.topology import build_two_rack_testbed
+from repro.tcp.config import TCPConfig
+from repro.tcp.sockets import create_connection_pair
+from repro.units import gbps, usec
+
+
+def three_tdn_config() -> RDCNConfig:
+    return RDCNConfig(
+        n_hosts_per_rack=2,
+        host_link_rate_bps=gbps(50),
+        schedule_pattern=(0, 0, 2, 0, 0, 1),
+    )
+
+
+def build_three_tdn_testbed():
+    """The stock builder knows two rates; patch a third path in."""
+    cfg = three_tdn_config()
+    testbed = build_two_rack_testbed(cfg)
+    mid_tier = NetworkPath(2, gbps(40), usec(10), is_circuit=True, name="optical-mid")
+    for uplink in testbed.uplinks.values():
+        uplink.paths[2] = mid_tier
+        uplink.per_tdn_tx[2] = 0
+    return cfg, testbed
+
+
+class TestThreeTDNs:
+    def test_schedule_cycles_through_all(self):
+        cfg, testbed = build_three_tdn_testbed()
+        seen = set()
+        testbed.driver.on_day_start(lambda tdn, idx: seen.add(tdn))
+        testbed.start()
+        testbed.sim.run(until=cfg.week_ns)
+        assert seen == {0, 1, 2}
+
+    def test_tdtcp_keeps_three_state_sets(self):
+        cfg, testbed = build_three_tdn_testbed()
+        client, server = create_connection_pair(
+            testbed.sim, testbed.host(0, 0), testbed.host(1, 0),
+            connection_cls=TDTCPConnection, tdn_count=3,
+            config=TCPConfig(mss=cfg.mss),
+        )
+        client.start_bulk()
+        testbed.start()
+        testbed.sim.run(until=cfg.week_ns * 12)
+        assert client.negotiated_tdns == 3
+        assert len(client.paths) == 3
+        # Every TDN carried traffic and accumulated its own RTT model.
+        for uplink_tdn, count in testbed.uplinks[0].per_tdn_tx.items():
+            assert count > 0, f"TDN {uplink_tdn} never carried data"
+        sampled = [p for p in client.paths if p.rtt.srtt_ns is not None]
+        assert len(sampled) == 3
+
+    def test_distinct_rtt_models_per_tier(self):
+        cfg, testbed = build_three_tdn_testbed()
+        client, server = create_connection_pair(
+            testbed.sim, testbed.host(0, 0), testbed.host(1, 0),
+            connection_cls=TDTCPConnection, tdn_count=3,
+            config=TCPConfig(mss=cfg.mss),
+        )
+        client.start_bulk()
+        testbed.start()
+        testbed.sim.run(until=cfg.week_ns * 20)
+        # Each state set tracks its own network: the packet tier's RTT
+        # model is the slowest, the fast circuit's the quickest, the
+        # mid-tier in between (§3.1's isolated per-TDN samples).
+        srtt = [p.rtt.srtt_ns for p in client.paths]
+        assert all(s is not None for s in srtt)
+        assert srtt[0] > srtt[2] > srtt[1]
+
+    def test_transfer_outperforms_packet_only(self):
+        cfg, testbed = build_three_tdn_testbed()
+        client, server = create_connection_pair(
+            testbed.sim, testbed.host(0, 0), testbed.host(1, 0),
+            connection_cls=TDTCPConnection, tdn_count=3,
+            config=TCPConfig(mss=cfg.mss),
+        )
+        client.start_bulk()
+        testbed.start()
+        weeks = 20
+        testbed.sim.run(until=cfg.week_ns * weeks)
+        from repro.units import throughput_gbps
+
+        thr = throughput_gbps(server.stats.bytes_delivered, testbed.sim.now)
+        # Packet-only upper bound here is 10 Gbps x (4 days / week share).
+        assert thr > 8.0
+
+    def test_tdn_count_mismatch_with_three(self):
+        cfg, testbed = build_three_tdn_testbed()
+        client_port = testbed.host(0, 0).allocate_port()
+        client = TDTCPConnection(
+            testbed.sim, testbed.host(0, 0), "r1h0", 5001,
+            local_port=client_port, tdn_count=3,
+        )
+        server = TDTCPConnection(
+            testbed.sim, testbed.host(1, 0), "r0h0", client_port,
+            local_port=5001, tdn_count=2,
+        )
+        server.listen()
+        client.connect()
+        testbed.start()
+        testbed.sim.run(until=cfg.week_ns)
+        assert client.downgraded and server.downgraded
+        assert client.state == "established"
