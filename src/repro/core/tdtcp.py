@@ -21,6 +21,7 @@ from repro.core.rtt import pessimistic_rto_ns
 from repro.core.tdn_state import PerTDNState
 from repro.net.node import Host
 from repro.net.packet import TCPSegment, TDNNotification
+from repro.obs.telemetry import Telemetry
 from repro.sim.simulator import Simulator
 from repro.sim.timers import Timer
 from repro.tcp.config import TCPConfig
@@ -81,6 +82,7 @@ class TDTCPConnection(TCPConnection):
         self.switch_pacing = switch_pacing
         self._pace_until_ns = 0
         self._pace_timer = Timer(sim, self._on_pace_tick, name=f"{self.name}-pace")
+        self._tp_tdn_switch = Telemetry.of(sim).tracepoint("tdtcp:tdn_switch")
         if subscribe_notifications:
             host.subscribe_tdn_changes(self._on_tdn_notification)
 
@@ -133,10 +135,22 @@ class TDTCPConnection(TCPConnection):
 
     def set_current_tdn(self, tdn_id: int) -> None:
         """Swap in the state set for ``tdn_id`` (no-op if unchanged)."""
+        previous = self.tdn_state.current_index
         if self.tdn_state.switch_to(tdn_id):
             self.current_path_index = self.tdn_state.current_index
             # TDN change pointer (§3.4): first sequence of the new TDN.
             self.tdn_change_seq = self.snd_nxt
+            if self._tp_tdn_switch.enabled:
+                self._tp_tdn_switch.emit(
+                    self.sim.now,
+                    conn=self.name,
+                    from_tdn=previous,
+                    to_tdn=self.tdn_state.current_index,
+                    saved_cwnd=self.paths[previous].cc.cwnd,
+                    restored_cwnd=self.current_path.cc.cwnd,
+                    snd_nxt=self.snd_nxt,
+                    switches=self.tdn_state.switches,
+                )
             if self.switch_pacing:
                 self._pace_until_ns = self.sim.now + self._pace_horizon_ns()
             # The new TDN's window may be wide open: send immediately.

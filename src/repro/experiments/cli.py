@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.experiments.cli fig7 --weeks 40 --flows 8
     python -m repro.experiments.cli fig10 --csv out/
+    python -m repro.experiments.cli fig7 --trace-out out/ --metrics-out out/ --profile
     python -m repro.experiments.cli sweep-ratio
     python -m repro.experiments.cli list
 """
@@ -15,6 +16,7 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 from repro.experiments import figures
+from repro.obs.telemetry import ObsConfig
 from repro.experiments.report import (
     figure_to_csv,
     render_cdf_summary,
@@ -49,12 +51,42 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--flows", type=int, default=8, help="parallel cross-rack flows")
     parser.add_argument("--seed", type=int, default=1, help="simulation seed")
     parser.add_argument("--csv", metavar="DIR", default=None, help="also write series as CSV files")
+    parser.add_argument(
+        "--trace-out", metavar="DIR", default=None,
+        help="record tracepoints; write JSONL, Chrome trace JSON, and CSVs here",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="DIR", default=None,
+        help="derive the metrics registry from tracepoints; write its JSON snapshot here",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="attribute simulator wall time per event callback and print the report",
+    )
+    parser.add_argument(
+        "--tracepoints", metavar="GLOB", default="*",
+        help="glob over tracepoint names to record (default: all, e.g. 'tcp:*')",
+    )
     return parser
+
+
+def obs_config_from_args(args) -> Optional[ObsConfig]:
+    """Build an :class:`ObsConfig` from the CLI flags (None when no
+    telemetry was requested)."""
+    if not (args.trace_out or args.metrics_out or args.profile):
+        return None
+    return ObsConfig(
+        trace_dir=args.trace_out,
+        metrics_dir=args.metrics_out,
+        profile=args.profile,
+        tracepoints=args.tracepoints,
+    )
 
 
 def run_figure(name: str, args) -> str:
     data = FIGURES[name](
-        weeks=args.weeks, warmup_weeks=args.warmup, n_flows=args.flows, seed=args.seed
+        weeks=args.weeks, warmup_weeks=args.warmup, n_flows=args.flows, seed=args.seed,
+        obs=obs_config_from_args(args),
     )
     sections = [render_throughput_summary(data)]
     if data.seq_curves:
@@ -73,6 +105,13 @@ def run_figure(name: str, args) -> str:
     if args.csv:
         written = figure_to_csv(data, args.csv)
         sections.append("CSV written:\n  " + "\n  ".join(written))
+    artifacts = [path for result in data.results.values() for path in result.artifacts]
+    if artifacts:
+        sections.append("telemetry artifacts:\n  " + "\n  ".join(artifacts))
+    if args.profile:
+        for variant, result in data.results.items():
+            if result.profile_report:
+                sections.append(f"profile [{name}/{variant}]\n{result.profile_report}")
     return "\n\n".join(sections)
 
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.obs.telemetry import ObsConfig
 from repro.rdcn.config import NotifierConfig, RDCNConfig
 from repro.tcp.config import TCPConfig
 
@@ -36,6 +37,9 @@ class ExperimentConfig:
     collect_voq: bool = True
     collect_sequence: bool = True
     seed: int = 1
+    # Telemetry (tracepoints / metrics / profiling); None disables —
+    # the probe sites then cost one attribute check each.
+    obs: Optional[ObsConfig] = None
 
     def __post_init__(self) -> None:
         if self.weeks <= self.warmup_weeks:

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.obs.telemetry import ObsConfig
 from repro.metrics.cdf import empirical_cdf
 from repro.metrics.seqgraph import (
     constant_rate_curve,
@@ -99,8 +100,13 @@ def run_figure(
     n_flows: int = 8,
     weeks_plotted: int = 3,
     seed: int = 1,
+    obs: Optional[ObsConfig] = None,
 ) -> FigureData:
-    """Generic driver: run every variant on one RDCN configuration."""
+    """Generic driver: run every variant on one RDCN configuration.
+
+    When ``obs`` is set, each variant's run records telemetry under the
+    label ``{figure}_{variant}`` (artifact paths end up on the per-
+    variant :class:`ExperimentResult`)."""
     data = FigureData(name=name, rdcn=rdcn, weeks_plotted=weeks_plotted)
     for variant in variants:
         cfg = ExperimentConfig(
@@ -110,6 +116,7 @@ def run_figure(
             weeks=weeks,
             warmup_weeks=warmup_weeks,
             seed=seed,
+            obs=obs.for_run(f"{name}_{variant}") if obs is not None else None,
         )
         result = run_experiment(cfg)
         _process_run(data, variant, result, weeks_plotted)
@@ -158,43 +165,63 @@ def latency_only_rdcn(rate_gbps: float = 100.0) -> RDCNConfig:
 # ----------------------------------------------------------------------
 # Figures
 # ----------------------------------------------------------------------
-def fig2(weeks: int = 40, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1) -> FigureData:
+def fig2(
+    weeks: int = 40, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1,
+    obs: Optional[ObsConfig] = None,
+) -> FigureData:
     """Figure 2: motivation sequence graph (CUBIC, MPTCP vs optimal and
     packet-only) over three optical weeks."""
     return run_figure(
-        "fig2", bw_latency_rdcn(), MOTIVATION_VARIANTS, weeks, warmup_weeks, n_flows, seed=seed
+        "fig2", bw_latency_rdcn(), MOTIVATION_VARIANTS, weeks, warmup_weeks, n_flows,
+        seed=seed, obs=obs,
     )
 
 
-def fig7(weeks: int = 40, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1) -> FigureData:
+def fig7(
+    weeks: int = 40, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1,
+    obs: Optional[ObsConfig] = None,
+) -> FigureData:
     """Figure 7: all variants under bandwidth AND latency differences.
 
     (a) is ``seq_curves``; (b) is ``voq_curves``.
     """
     return run_figure(
-        "fig7", bw_latency_rdcn(), FULL_VARIANTS, weeks, warmup_weeks, n_flows, seed=seed
+        "fig7", bw_latency_rdcn(), FULL_VARIANTS, weeks, warmup_weeks, n_flows,
+        seed=seed, obs=obs,
     )
 
 
-def fig8(weeks: int = 40, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1) -> FigureData:
+def fig8(
+    weeks: int = 40, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1,
+    obs: Optional[ObsConfig] = None,
+) -> FigureData:
     """Figure 8: bandwidth difference only."""
     return run_figure(
-        "fig8", bw_only_rdcn(), FULL_VARIANTS, weeks, warmup_weeks, n_flows, seed=seed
+        "fig8", bw_only_rdcn(), FULL_VARIANTS, weeks, warmup_weeks, n_flows,
+        seed=seed, obs=obs,
     )
 
 
-def fig9(weeks: int = 40, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1) -> FigureData:
+def fig9(
+    weeks: int = 40, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1,
+    obs: Optional[ObsConfig] = None,
+) -> FigureData:
     """Figure 9: latency difference only at 100 Gbps."""
     return run_figure(
-        "fig9", latency_only_rdcn(100.0), FULL_VARIANTS, weeks, warmup_weeks, n_flows, seed=seed
+        "fig9", latency_only_rdcn(100.0), FULL_VARIANTS, weeks, warmup_weeks, n_flows,
+        seed=seed, obs=obs,
     )
 
 
-def fig10(weeks: int = 60, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1) -> FigureData:
+def fig10(
+    weeks: int = 60, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1,
+    obs: Optional[ObsConfig] = None,
+) -> FigureData:
     """Figure 10: CDFs of reordering events and retransmitted packets
     per optical day for CUBIC, MPTCP, and TDTCP."""
     data = run_figure(
-        "fig10", bw_latency_rdcn(), REORDERING_VARIANTS, weeks, warmup_weeks, n_flows, seed=seed
+        "fig10", bw_latency_rdcn(), REORDERING_VARIANTS, weeks, warmup_weeks, n_flows,
+        seed=seed, obs=obs,
     )
     for variant, result in data.results.items():
         data.reordering_cdfs[variant] = empirical_cdf(result.reordering_per_day)
@@ -202,7 +229,10 @@ def fig10(weeks: int = 60, warmup_weeks: int = 12, n_flows: int = 8, seed: int =
     return data
 
 
-def fig11(weeks: int = 40, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1) -> FigureData:
+def fig11(
+    weeks: int = 40, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1,
+    obs: Optional[ObsConfig] = None,
+) -> FigureData:
     """Figure 11: TDTCP with and without the §5.4 notification
     optimizations."""
     return run_figure(
@@ -213,19 +243,25 @@ def fig11(weeks: int = 40, warmup_weeks: int = 12, n_flows: int = 8, seed: int =
         warmup_weeks,
         n_flows,
         seed=seed,
+        obs=obs,
     )
 
 
-def fig13(weeks: int = 40, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1) -> FigureData:
+def fig13(
+    weeks: int = 40, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1,
+    obs: Optional[ObsConfig] = None,
+) -> FigureData:
     """Figure 13 (Appendix A.3): VOQ occupancy of CUBIC and MPTCP in the
     Figure-2 configuration."""
     return run_figure(
-        "fig13", bw_latency_rdcn(), MOTIVATION_VARIANTS, weeks, warmup_weeks, n_flows, seed=seed
+        "fig13", bw_latency_rdcn(), MOTIVATION_VARIANTS, weeks, warmup_weeks, n_flows,
+        seed=seed, obs=obs,
     )
 
 
 def fig14(
-    rate_gbps: float, weeks: int = 40, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1
+    rate_gbps: float, weeks: int = 40, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1,
+    obs: Optional[ObsConfig] = None,
 ) -> FigureData:
     """Figure 14 (Appendix A.4): VOQ occupancy, latency-only RDCN at a
     fixed rate (the paper shows 10 and 100 Gbps panels)."""
@@ -237,4 +273,5 @@ def fig14(
         warmup_weeks,
         n_flows,
         seed=seed,
+        obs=obs,
     )

@@ -10,8 +10,10 @@ from repro.apps.workload import build_workload
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.variants import get_variant
 from repro.metrics.collectors import EventCounterCollector, QueueOccupancyCollector
+from repro.obs.telemetry import Telemetry
 from repro.rdcn.config import NotifierConfig
 from repro.rdcn.topology import TwoRackTestbed, build_two_rack_testbed
+from repro.sim.simulator import Simulator
 from repro.units import throughput_gbps
 
 
@@ -38,6 +40,11 @@ class ExperimentResult:
     fast_recoveries: int = 0
     reinjections: int = 0
     notification_latencies: List[int] = field(default_factory=list)
+    # Telemetry outputs (populated when config.obs is set): artifact
+    # paths written by Telemetry.finish() and the profiler's report.
+    artifacts: List[str] = field(default_factory=list)
+    profile_report: Optional[str] = None
+    events_per_second: Optional[float] = None
 
     @property
     def throughput_gbps(self) -> float:
@@ -97,7 +104,15 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         rdcn = replace(rdcn, notifier=NotifierConfig.unoptimized())
     rdcn = replace(rdcn, seed=config.seed)
 
-    testbed = build_two_rack_testbed(rdcn, ecn=variant.needs_ecn)
+    # Telemetry attaches to the simulator before anything instrumented
+    # is constructed (tracepoints are fetched at construction time).
+    telemetry: Optional[Telemetry] = None
+    sim: Optional[Simulator] = None
+    if config.obs is not None and config.obs.active:
+        sim = Simulator()
+        telemetry = Telemetry(config.obs).attach(sim)
+
+    testbed = build_two_rack_testbed(rdcn, sim=sim, ecn=variant.needs_ecn)
     context = variant.prepare(testbed, config)
 
     seq_collector = _AggregateSeqCollector()
@@ -164,4 +179,9 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         config.weeks, config.warmup_weeks
     )
     result.notification_latencies = list(testbed.notifier.delivery_latency_samples)
+    if telemetry is not None:
+        result.artifacts = telemetry.finish()
+        result.profile_report = telemetry.profile_report()
+        if telemetry.profiler is not None:
+            result.events_per_second = telemetry.profiler.events_per_second
     return result

@@ -10,7 +10,7 @@ Figure 10 CDFs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.net.queues import DropTailQueue
 from repro.rdcn.schedule import TDNSchedule
@@ -18,13 +18,18 @@ from repro.sim.simulator import Simulator
 
 
 class QueueOccupancyCollector:
-    """Records every queue-length change as a step series."""
+    """Records every queue-length change as a step series.
+
+    A thin adapter over the queue's multi-listener observation hook
+    (:meth:`DropTailQueue.subscribe_length`), so it coexists with the
+    ``queue:occupancy`` tracepoint instead of clobbering a single
+    callback slot."""
 
     def __init__(self, sim: Simulator, queue: DropTailQueue):
         self.sim = sim
         self.queue = queue
         self.samples: List[Tuple[int, int]] = [(0, len(queue))]
-        queue.on_length_change = self._on_change
+        queue.subscribe_length(self._on_change)
 
     def _on_change(self, length: int) -> None:
         self.samples.append((self.sim.now, length))
@@ -55,6 +60,11 @@ class EventCounterCollector:
     def record_events(self, events: List[Tuple[int, int]]) -> None:
         for time_ns, count in events:
             self.record(time_ns, count)
+
+    def __call__(self, time_ns: int, name: str, fields: Dict[str, Any]) -> None:
+        """Tracepoint-subscriber entry point: each event counts once, so
+        the collector can be attached to e.g. ``tcp:retransmit``."""
+        self.record(time_ns, 1)
 
     def per_day_counts(self, total_weeks: int, warmup_weeks: int = 0) -> List[int]:
         """Counts per optical day across the experiment, zero-filled."""

@@ -9,7 +9,7 @@ the fabric code stays small.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
 from repro.net.packet import Packet
 
@@ -19,6 +19,12 @@ class DropTailQueue:
 
     Resizing smaller does not evict already-queued packets (matching how
     switch buffer carving behaves); it only affects future enqueues.
+
+    Observation points: ``on_length_change`` is a single replaceable
+    observer (legacy hook); :meth:`subscribe_length` and
+    :meth:`subscribe_drop` attach any number of listeners — the
+    ``queue:occupancy`` / ``queue:drop`` tracepoints hang off these (see
+    :meth:`repro.obs.telemetry.Telemetry.instrument_queue`).
     """
 
     def __init__(self, capacity: int, name: str = "queue"):
@@ -32,9 +38,26 @@ class DropTailQueue:
         self.max_occupancy = 0
         # Optional observer called as fn(length) after every length change.
         self.on_length_change: Optional[Callable[[int], None]] = None
+        self._length_listeners: List[Callable[[int], None]] = []
+        self._drop_listeners: List[Callable[[Packet], None]] = []
 
     def __len__(self) -> int:
         return len(self._fifo)
+
+    def subscribe_length(self, fn: Callable[[int], None]) -> None:
+        """Add a listener called as ``fn(length)`` after every change."""
+        self._length_listeners.append(fn)
+
+    def subscribe_drop(self, fn: Callable[[Packet], None]) -> None:
+        """Add a listener called as ``fn(packet)`` on every tail drop."""
+        self._drop_listeners.append(fn)
+
+    def _notify_length(self) -> None:
+        length = len(self._fifo)
+        if self.on_length_change is not None:
+            self.on_length_change(length)
+        for fn in self._length_listeners:
+            fn(length)
 
     def resize(self, capacity: int) -> None:
         """Change capacity at runtime (used by the reTCP-dyn controller)."""
@@ -47,6 +70,8 @@ class DropTailQueue:
         if len(self._fifo) >= self.capacity:
             packet.dropped = True
             self.drops += 1
+            for fn in self._drop_listeners:
+                fn(packet)
             return False
         packet.enqueued_ns = now
         self._mark(packet)
@@ -54,16 +79,14 @@ class DropTailQueue:
         self.enqueued += 1
         if len(self._fifo) > self.max_occupancy:
             self.max_occupancy = len(self._fifo)
-        if self.on_length_change is not None:
-            self.on_length_change(len(self._fifo))
+        self._notify_length()
         return True
 
     def pop(self) -> Optional[Packet]:
         if not self._fifo:
             return None
         packet = self._fifo.popleft()
-        if self.on_length_change is not None:
-            self.on_length_change(len(self._fifo))
+        self._notify_length()
         return packet
 
     def peek(self) -> Optional[Packet]:

@@ -1,0 +1,54 @@
+"""Unified telemetry: tracepoints, metrics, exporters, profiling.
+
+The simulator-side analogue of the kernel introspection the paper's
+evaluation relied on (``ss -ti`` dumps, ``tcp_probe``-style probes):
+
+* :mod:`repro.obs.tracepoints` — named probe points that cost one
+  attribute check when disabled;
+* :mod:`repro.obs.metrics` — counters, gauges, and log-scale histograms
+  with label support;
+* :mod:`repro.obs.exporters` — JSONL, Chrome trace-event JSON
+  (Perfetto-loadable, TDNs as tracks), and CSV time series;
+* :mod:`repro.obs.profiling` — per-callback wall-time attribution for
+  ``Simulator.run``;
+* :mod:`repro.obs.telemetry` — the facade tying them to one run.
+
+See ``docs/observability.md`` for the tracepoint catalog and the
+mapping to the paper's kernel probes.
+"""
+
+from repro.obs.exporters import (
+    MemoryExporter,
+    render_chrome_trace,
+    render_jsonl,
+    write_csv_series,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, log2_bucket
+from repro.obs.profiling import SimulatorProfiler
+from repro.obs.telemetry import DISABLED, ObsConfig, Telemetry
+from repro.obs.tracepoints import (
+    NULL_TRACEPOINT,
+    TRACEPOINT_CATALOG,
+    Tracepoint,
+    TracepointRegistry,
+)
+
+__all__ = [
+    "Counter",
+    "DISABLED",
+    "Gauge",
+    "Histogram",
+    "MemoryExporter",
+    "MetricsRegistry",
+    "NULL_TRACEPOINT",
+    "ObsConfig",
+    "SimulatorProfiler",
+    "TRACEPOINT_CATALOG",
+    "Telemetry",
+    "Tracepoint",
+    "TracepointRegistry",
+    "log2_bucket",
+    "render_chrome_trace",
+    "render_jsonl",
+    "write_csv_series",
+]

@@ -1,0 +1,212 @@
+"""Metrics registry: counters, gauges, and log-scale histograms.
+
+Prometheus-flavoured naming and label semantics, scaled down to what a
+deterministic simulator needs: every metric supports a fixed tuple of
+label names, and each observed label combination materializes a child
+series. Histograms bucket on powers of two (log-scale), which suits the
+nanosecond latencies and packet counts this reproduction measures —
+seven orders of magnitude fit in ~40 buckets.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+LabelValues = Tuple[Any, ...]
+
+
+class Metric:
+    """Base: a named family of labelled series."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, help: str = "", labelnames: Tuple[str, ...] = ()):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._series: Dict[LabelValues, Any] = {}
+
+    def _key(self, labels: Dict[str, Any]) -> LabelValues:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, got {tuple(labels)}"
+            )
+        return tuple(labels[n] for n in self.labelnames)
+
+    def series(self) -> Dict[LabelValues, Any]:
+        """label-values -> current value (scalar or histogram state)."""
+        return dict(self._series)
+
+    def snapshot(self) -> dict:
+        """JSON-ready view: one entry per label combination."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "help": self.help,
+            "labelnames": list(self.labelnames),
+            "series": [
+                {"labels": list(key), "value": self._series_value(value)}
+                for key, value in sorted(self._series.items(), key=lambda kv: str(kv[0]))
+            ],
+        }
+
+    def _series_value(self, value: Any) -> Any:
+        return value
+
+
+class Counter(Metric):
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = self._key(labels)
+        self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._series.get(self._key(labels), 0)
+
+    def total(self) -> float:
+        """Sum across every label combination."""
+        return sum(self._series.values())
+
+
+class Gauge(Metric):
+    """A value that can go up and down (last write wins)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._series[self._key(labels)] = value
+
+    def add(self, delta: float, **labels: Any) -> None:
+        key = self._key(labels)
+        self._series[key] = self._series.get(key, 0) + delta
+
+    def value(self, **labels: Any) -> Optional[float]:
+        return self._series.get(self._key(labels))
+
+
+def log2_bucket(value: float) -> int:
+    """Bucket index for a log-scale histogram: the smallest ``k`` with
+    ``value <= 2**k`` (0 for values <= 1; negatives clamp to 0)."""
+    if value <= 1:
+        return 0
+    return max(math.ceil(math.log2(value)), 0)
+
+
+class _HistogramState:
+    __slots__ = ("buckets", "count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.buckets: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+
+class Histogram(Metric):
+    """Log-scale (power-of-two bucket) histogram.
+
+    ``observe(v)`` lands in the bucket whose upper bound is the smallest
+    power of two >= v. Snapshots list cumulative counts so quantile
+    estimates read straight off the output.
+    """
+
+    kind = "histogram"
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        state = self._series.get(key)
+        if state is None:
+            state = self._series[key] = _HistogramState()
+        index = log2_bucket(value)
+        state.buckets[index] = state.buckets.get(index, 0) + 1
+        state.count += 1
+        state.total += value
+        state.minimum = value if state.minimum is None else min(state.minimum, value)
+        state.maximum = value if state.maximum is None else max(state.maximum, value)
+
+    def count(self, **labels: Any) -> int:
+        state = self._series.get(self._key(labels))
+        return state.count if state is not None else 0
+
+    def buckets(self, **labels: Any) -> List[Tuple[float, int]]:
+        """(upper_bound, cumulative_count) pairs, bucket-ordered."""
+        state = self._series.get(self._key(labels))
+        if state is None:
+            return []
+        pairs: List[Tuple[float, int]] = []
+        running = 0
+        for index in sorted(state.buckets):
+            running += state.buckets[index]
+            pairs.append((float(2 ** index), running))
+        return pairs
+
+    def quantile(self, q: float, **labels: Any) -> Optional[float]:
+        """Upper bound of the bucket containing the q-quantile."""
+        if not (0.0 <= q <= 1.0):
+            raise ValueError("quantile must be in [0, 1]")
+        pairs = self.buckets(**labels)
+        if not pairs:
+            return None
+        target = q * pairs[-1][1]
+        for upper, cumulative in pairs:
+            if cumulative >= target:
+                return upper
+        return pairs[-1][0]
+
+    def _series_value(self, state: _HistogramState) -> Any:
+        return {
+            "count": state.count,
+            "sum": state.total,
+            "min": state.minimum,
+            "max": state.maximum,
+            "buckets": [
+                {"le": float(2 ** index), "count": state.buckets[index]}
+                for index in sorted(state.buckets)
+            ],
+        }
+
+
+class MetricsRegistry:
+    """The metric families of one telemetry instance."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _register(self, cls, name: str, help: str, labelnames: Tuple[str, ...]):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls) or existing.labelnames != tuple(labelnames):
+                raise ValueError(f"metric {name!r} already registered with a different shape")
+            return existing
+        metric = cls(name, help=help, labelnames=labelnames)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "", labelnames: Tuple[str, ...] = ()) -> Counter:
+        """Get-or-create a counter family."""
+        return self._register(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames: Tuple[str, ...] = ()) -> Gauge:
+        """Get-or-create a gauge family."""
+        return self._register(Gauge, name, help, labelnames)
+
+    def histogram(self, name: str, help: str = "", labelnames: Tuple[str, ...] = ()) -> Histogram:
+        """Get-or-create a histogram family."""
+        return self._register(Histogram, name, help, labelnames)
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> dict:
+        """JSON-ready dump of every family, name-sorted (deterministic)."""
+        return {name: self._metrics[name].snapshot() for name in sorted(self._metrics)}

@@ -31,6 +31,7 @@ from typing import Dict, List
 from repro.net.node import Host
 from repro.net.packet import TDNNotification
 from repro.net.switch import ToRSwitch
+from repro.obs.telemetry import Telemetry
 from repro.rdcn.config import NotifierConfig
 from repro.rdcn.schedule import ScheduleDriver
 from repro.sim.rng import SeededRandom
@@ -82,6 +83,7 @@ class TDNNotifier:
         # Latency samples (ns) from generation decision to host dispatch,
         # recorded for the §5.4 microbenchmarks.
         self.delivery_latency_samples: List[int] = []
+        self._tp_deliver = Telemetry.of(sim).tracepoint("notifier:deliver")
         driver.on_day_start(self._day_started)
         if night_policy != "none":
             driver.on_night_start(self._night_started)
@@ -98,7 +100,15 @@ class TDNNotifier:
 
     def _record_latency(self, notification: TDNNotification) -> None:
         """Record send-to-processed latency (§5.4's end-to-end metric)."""
-        self.delivery_latency_samples.append(self.sim.now - notification.generated_ns)
+        latency_ns = self.sim.now - notification.generated_ns
+        self.delivery_latency_samples.append(latency_ns)
+        if self._tp_deliver.enabled:
+            self._tp_deliver.emit(
+                self.sim.now,
+                host=notification.dst,
+                tdn=notification.tdn_id,
+                latency_ns=latency_ns,
+            )
 
     def host_processing_delay_ns(self, flow_index: int) -> int:
         if self.config.pull_model:

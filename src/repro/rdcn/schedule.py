@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.obs.telemetry import Telemetry
 from repro.sim.simulator import Simulator
 
 
@@ -154,6 +155,7 @@ class ScheduleDriver:
         self._base_ns = 0
         self.current_tdn: Optional[int] = None
         self.day_index = 0  # number of day starts so far
+        self._tp_day_night = Telemetry.of(sim).tracepoint("rdcn:day_night")
 
     def on_day_start(self, fn: Callable[[int, int], None]) -> None:
         self._day_start_fns.append(fn)
@@ -211,10 +213,18 @@ class ScheduleDriver:
     def _day_start(self, tdn_id: int, global_index: int) -> None:
         self.current_tdn = tdn_id
         self.day_index = global_index + 1
+        if self._tp_day_night.enabled:
+            self._tp_day_night.emit(
+                self.sim.now, phase="day", tdn=tdn_id, day_index=global_index
+            )
         for fn in self._day_start_fns:
             fn(tdn_id, global_index)
 
     def _night_start(self, global_index: int) -> None:
         self.current_tdn = None
+        if self._tp_day_night.enabled:
+            self._tp_day_night.emit(
+                self.sim.now, phase="night", tdn=None, day_index=global_index
+            )
         for fn in self._night_start_fns:
             fn(global_index)

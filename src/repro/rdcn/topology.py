@@ -17,6 +17,7 @@ from repro.net.link import Link
 from repro.net.node import Host
 from repro.net.queues import DropTailQueue, ECNMarkingQueue
 from repro.net.switch import ToRSwitch
+from repro.obs.telemetry import Telemetry
 from repro.rdcn.config import RDCNConfig
 from repro.rdcn.fabric import NetworkPath, RackUplink
 from repro.rdcn.notifier import TDNNotifier
@@ -115,10 +116,17 @@ def build_two_rack_testbed(
             rack_hosts.append(host)
         testbed.hosts[rack] = rack_hosts
 
+    telemetry = Telemetry.of(sim)
+
     def make_voq(name: str) -> DropTailQueue:
         if ecn:
-            return ECNMarkingQueue(config.voq_capacity, config.ecn_threshold, name)
-        return DropTailQueue(config.voq_capacity, name)
+            voq: DropTailQueue = ECNMarkingQueue(
+                config.voq_capacity, config.ecn_threshold, name
+            )
+        else:
+            voq = DropTailQueue(config.voq_capacity, name)
+        telemetry.instrument_queue(voq, sim)
+        return voq
 
     for src_rack, dst_rack in ((0, 1), (1, 0)):
         uplink = RackUplink(

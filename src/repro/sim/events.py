@@ -17,10 +17,12 @@ class Event:
 
     Events are created through :meth:`Simulator.schedule` /
     :meth:`Simulator.at`; user code normally only keeps a reference in
-    order to :meth:`cancel` it.
+    order to :meth:`cancel` it. Calling :meth:`cancel` directly is safe:
+    the event keeps a back-reference to its queue so the live count
+    stays exact (no separate bookkeeping call to forget).
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_queue")
 
     def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
         self.time = time
@@ -28,13 +30,21 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._queue: Optional["EventQueue"] = None
 
     def cancel(self) -> None:
         """Mark the event so it is skipped when popped.
 
-        Cancellation is O(1); the entry is lazily discarded by the queue.
+        Cancellation is O(1) and idempotent; the heap entry is lazily
+        discarded by the queue, the live count is adjusted here.
         """
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue = self._queue
+        if queue is not None:
+            queue._live -= 1
+            self._queue = None
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -61,17 +71,22 @@ class EventQueue:
     def push(self, time: int, fn: Callable[..., Any], args: tuple = ()) -> Event:
         """Schedule ``fn(*args)`` at absolute ``time``; returns the event."""
         event = Event(time, self._seq, fn, args)
+        event._queue = self
         self._seq += 1
         heapq.heappush(self._heap, event)
         self._live += 1
         return event
 
     def pop(self) -> Optional[Event]:
-        """Pop the earliest non-cancelled event, or None if empty."""
+        """Pop the earliest non-cancelled event, or None if empty.
+
+        Cancelled entries are lazily discarded here (their live-count
+        decrement already happened in :meth:`Event.cancel`)."""
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            event._queue = None
             self._live -= 1
             return event
         return None
@@ -84,10 +99,8 @@ class EventQueue:
             return None
         return self._heap[0].time
 
-    def note_cancelled(self) -> None:
-        """Bookkeeping hook: an event in the heap was cancelled."""
-        self._live -= 1
-
     def clear(self) -> None:
+        for event in self._heap:
+            event._queue = None
         self._heap.clear()
         self._live = 0

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Callable, Optional
 
 from repro.sim.events import Event, EventQueue
@@ -15,6 +16,15 @@ class Simulator:
         sim = Simulator()
         sim.schedule(1000, lambda: print("one microsecond in"))
         sim.run(until=1_000_000)
+
+    Observability hooks (both optional, both None by default so the hot
+    loop pays a single hoisted check):
+
+    * ``profiler`` — duck-typed per-callback wall-time profiler
+      (:class:`repro.obs.profiling.SimulatorProfiler`); set before
+      :meth:`run`.
+    * ``telemetry`` — set by :meth:`repro.obs.telemetry.Telemetry.attach`;
+      instrumented objects discover it via ``Telemetry.of(sim)``.
     """
 
     def __init__(self) -> None:
@@ -22,6 +32,8 @@ class Simulator:
         self._queue = EventQueue()
         self._running = False
         self._event_count = 0
+        self.profiler: Optional[Any] = None
+        self.telemetry: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -39,10 +51,11 @@ class Simulator:
         return self._queue.push(time, fn, args)
 
     def cancel(self, event: Event) -> None:
-        """Cancel a pending event (no-op if already fired or cancelled)."""
-        if not event.cancelled:
-            event.cancel()
-            self._queue.note_cancelled()
+        """Cancel a pending event (no-op if already fired or cancelled).
+
+        Equivalent to ``event.cancel()`` — the event itself keeps the
+        queue's live count exact, so either spelling is safe."""
+        event.cancel()
 
     # ------------------------------------------------------------------
     # Execution
@@ -56,6 +69,9 @@ class Simulator:
         """
         processed = 0
         self._running = True
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.run_started()
         try:
             while self._running:
                 if max_events is not None and processed >= max_events:
@@ -68,11 +84,18 @@ class Simulator:
                 event = self._queue.pop()
                 assert event is not None
                 self.now = event.time
-                event.fn(*event.args)
+                if profiler is None:
+                    event.fn(*event.args)
+                else:
+                    started = perf_counter()
+                    event.fn(*event.args)
+                    profiler.record(event.fn, perf_counter() - started)
                 processed += 1
                 self._event_count += 1
         finally:
             self._running = False
+            if profiler is not None:
+                profiler.run_finished(processed)
         if until is not None and self.now < until:
             self.now = until
         return processed

@@ -3,11 +3,20 @@
 Collectors in :mod:`repro.metrics` subscribe to these; the hot path pays
 one attribute lookup and one call when tracing is enabled, nothing when
 the :class:`NullTraceSink` is installed.
+
+Since the unified telemetry subsystem (:mod:`repro.obs`) landed, the
+sinks are thin adapters over its event buffer: a :class:`ListTraceSink`
+stores its samples in a :class:`repro.obs.exporters.MemoryExporter` and
+doubles as a tracepoint subscriber, so legacy ``record`` call sites and
+new tracepoint streams land in the same substrate and can be rendered
+by the same exporters.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Tuple
+from typing import Any, Dict, List, Tuple
+
+from repro.obs.exporters import MemoryExporter
 
 
 class TraceSink:
@@ -29,18 +38,38 @@ class NullTraceSink(TraceSink):
 
 
 class ListTraceSink(TraceSink):
-    """Appends samples to per-key lists. Good enough for experiments at
-    the scale this reproduction runs (tens of ms of simulated time)."""
+    """Appends samples to per-key lists, backed by a
+    :class:`repro.obs.exporters.MemoryExporter`.
+
+    Besides the legacy ``record(time, key, value)`` entry point it is a
+    valid tracepoint subscriber (``sink(time_ns, name, fields)``), so it
+    can be attached to a :class:`repro.obs.tracepoints.TracepointRegistry`
+    directly; tracepoint events appear under their tracepoint name with
+    the fields dict as the value.
+    """
 
     def __init__(self) -> None:
-        self.samples: dict[str, List[Tuple[int, Any]]] = {}
+        self.buffer = MemoryExporter()
 
     def record(self, time: int, key: str, value: Any) -> None:
-        self.samples.setdefault(key, []).append((time, value))
+        self.buffer(time, key, {"value": value})
+
+    def __call__(self, time_ns: int, name: str, fields: Dict[str, Any]) -> None:
+        """Tracepoint-subscriber entry point."""
+        self.buffer(time_ns, name, fields)
+
+    @property
+    def samples(self) -> Dict[str, List[Tuple[int, Any]]]:
+        """Per-key sample lists (legacy view of the event buffer)."""
+        view: Dict[str, List[Tuple[int, Any]]] = {}
+        for time_ns, name, fields in self.buffer.events:
+            value = fields["value"] if set(fields) == {"value"} else fields
+            view.setdefault(name, []).append((time_ns, value))
+        return view
 
     def series(self, key: str) -> List[Tuple[int, Any]]:
         """All samples recorded under ``key`` (empty list if none)."""
         return self.samples.get(key, [])
 
     def keys(self) -> List[str]:
-        return sorted(self.samples)
+        return self.buffer.families()

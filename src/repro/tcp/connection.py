@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.net.addressing import FlowKey
 from repro.net.node import Host
 from repro.net.packet import TCPSegment
+from repro.obs.telemetry import Telemetry
 from repro.sim.simulator import Simulator
 from repro.sim.timers import Timer
 from repro.tcp.buffers import ReceiveBuffer, SendBuffer
@@ -117,6 +118,12 @@ class PathState:
         self.sacked_out = 0
         self.lost_out = 0
         self.retrans_out = 0
+        # Telemetry: EWMA delivery rate (bits/s, gain 1/8) and the
+        # timestamps of the last tracepoint-worthy events on this path
+        # (mirrors what ``ss -ti`` reports per connection).
+        self.delivery_rate_bps = 0.0
+        self.last_cwnd_update_ns: Optional[int] = None
+        self.last_retransmit_ns: Optional[int] = None
 
     @property
     def in_flight(self) -> int:
@@ -237,6 +244,14 @@ class TCPConnection:
         self.negotiated_tdns: Optional[int] = None
         # TDN change pointer (§3.4): snd_nxt at the last TDN switch.
         self.tdn_change_seq = 0
+
+        # Tracepoints, fetched once (Telemetry.of returns a disabled
+        # stand-in when no telemetry is attached, so every emit site
+        # below costs one attribute check in that case).
+        telemetry = Telemetry.of(sim)
+        self._tp_cwnd = telemetry.tracepoint("tcp:cwnd_update")
+        self._tp_retransmit = telemetry.tracepoint("tcp:retransmit")
+        self._tp_ca = telemetry.tracepoint("tcp:ca_state")
 
     # ------------------------------------------------------------------
     # Construction hooks (overridden by TDTCP)
@@ -509,12 +524,36 @@ class TCPConnection:
                 continue
             path = self.paths[index]
             path.cc.on_ack(count, path.rtt.latest_rtt_ns, path.in_flight, ece=pkt.ece)
+            # Kernel-style delivery rate: delivered over the ACK
+            # inter-arrival interval, not over an RTT (many ACKs land
+            # per RTT). First sample falls back to the RTT.
+            previous_ns = path.last_cwnd_update_ns
+            path.last_cwnd_update_ns = self.sim.now
+            interval_ns = (
+                self.sim.now - previous_ns
+                if previous_ns is not None
+                else path.rtt.latest_rtt_ns
+            )
+            if interval_ns:
+                rate_bps = count * self.config.mss * 8_000_000_000 / interval_ns
+                path.delivery_rate_bps += (rate_bps - path.delivery_rate_bps) / 8.0
+            if self._tp_cwnd.enabled:
+                self._emit_cwnd(path, reason="ack")
         if pkt.ece:
             self._react_to_ecn()
 
         for path in self.paths:
             if path.maybe_exit_recovery(self.snd_una):
-                pass
+                if self._tp_ca.enabled:
+                    self._tp_ca.emit(
+                        self.sim.now,
+                        conn=self.name,
+                        tdn=path.tdn_id,
+                        state=path.ca_state.value,
+                        reason="recovery-exit",
+                    )
+                if self._tp_cwnd.enabled:
+                    self._emit_cwnd(path, reason="recovery-exit")
 
         self._cancel_timers_if_idle()
         if self.total_packets_out() > 0 and newly_acked:
@@ -615,6 +654,19 @@ class TCPConnection:
         if sample_seg is not None:
             sample = self.sim.now - sample_seg.sent_ns
             self.path_of(sample_seg).rtt.update(sample)
+
+    def _emit_cwnd(self, path: PathState, reason: str) -> None:
+        """Emit ``tcp:cwnd_update`` for one path (callers guard on
+        ``self._tp_cwnd.enabled``)."""
+        self._tp_cwnd.emit(
+            self.sim.now,
+            conn=self.name,
+            tdn=path.tdn_id,
+            cwnd=path.cc.cwnd,
+            ssthresh=path.cc.ssthresh,
+            ca_state=path.ca_state.value,
+            reason=reason,
+        )
 
     def _rtt_sample_allowed(self, seg: SegmentState, pkt: TCPSegment) -> bool:
         """Hook: base TCP accepts every non-retransmitted sample."""
@@ -745,6 +797,17 @@ class TCPConnection:
             if not path.ca_state.in_recovery:
                 path.enter_recovery(self.snd_nxt)
                 self.stats.fast_recoveries += 1
+                path.last_cwnd_update_ns = self.sim.now
+                if self._tp_ca.enabled:
+                    self._tp_ca.emit(
+                        self.sim.now,
+                        conn=self.name,
+                        tdn=path.tdn_id,
+                        state=path.ca_state.value,
+                        reason="fast-recovery",
+                    )
+                if self._tp_cwnd.enabled:
+                    self._emit_cwnd(path, reason="fast-recovery")
             elif path.ca_state == CaState.OPEN or path.ca_state == CaState.DISORDER:
                 pass
 
@@ -761,6 +824,9 @@ class TCPConnection:
         path.cwr_seq = self.snd_nxt
         path.cc.on_congestion_event()
         self.stats.ecn_reductions += 1
+        path.last_cwnd_update_ns = self.sim.now
+        if self._tp_cwnd.enabled:
+            self._emit_cwnd(path, reason="ecn")
 
     # ------------------------------------------------------------------
     # Timers
@@ -806,6 +872,17 @@ class TCPConnection:
             affected[id(path)] = path
         for path in affected.values():
             path.enter_loss(self.snd_nxt)
+            path.last_cwnd_update_ns = self.sim.now
+            if self._tp_ca.enabled:
+                self._tp_ca.emit(
+                    self.sim.now,
+                    conn=self.name,
+                    tdn=path.tdn_id,
+                    state=path.ca_state.value,
+                    reason="rto",
+                )
+            if self._tp_cwnd.enabled:
+                self._emit_cwnd(path, reason="rto")
         self._restart_rto()
         if self.state in (SYN_SENT, SYN_RCVD):
             # Handshake segments are retransmitted directly; the normal
@@ -980,8 +1057,20 @@ class TCPConnection:
             seg.retrans_outstanding = True
             path.retrans_out += 1
         self.stats.retransmissions += 1
-        if seg.delivered_ground_truth:
+        spurious = seg.delivered_ground_truth
+        if spurious:
             self.stats.spurious_retransmissions += 1
+        path.last_retransmit_ns = self.sim.now
+        if self._tp_retransmit.enabled:
+            self._tp_retransmit.emit(
+                self.sim.now,
+                conn=self.name,
+                tdn=seg.tdn_id,
+                seq=seg.seq,
+                retx_count=seg.retx_count,
+                probe=probe,
+                spurious=spurious,
+            )
         self._transmit(seg, probe=probe)
 
     # ------------------------------------------------------------------

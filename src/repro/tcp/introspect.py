@@ -14,11 +14,27 @@ from repro.tcp.connection import TCPConnection
 
 
 def _format_bytes(count: int) -> str:
-    for unit in ("B", "KB", "MB", "GB"):
-        if count < 1024 or unit == "GB":
-            return f"{count:.0f}{unit}" if unit == "B" else f"{count:.1f}{unit}"
-        count /= 1024.0
-    return f"{count:.1f}GB"
+    value = float(count)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if value < 1024 or unit == "TB":
+            return f"{value:.0f}{unit}" if unit == "B" else f"{value:.1f}{unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def _format_rate(bps: float) -> str:
+    for unit in ("bps", "Kbps", "Mbps", "Gbps"):
+        if bps < 1000 or unit == "Gbps":
+            return f"{bps:.1f}{unit}"
+        bps /= 1000.0
+    raise AssertionError("unreachable")
+
+
+def _format_age(delta_ns: int) -> str:
+    """Time since an event, ss-style (``lastsnd`` and friends)."""
+    if delta_ns < 1_000_000:
+        return f"{delta_ns / 1e3:.0f}us"
+    return f"{delta_ns / 1e6:.1f}ms"
 
 
 def describe_connection(conn: TCPConnection) -> str:
@@ -42,6 +58,16 @@ def describe_connection(conn: TCPConnection) -> str:
         srtt = f"{path.rtt.srtt_ns / 1e6:.3f}ms" if path.rtt.srtt_ns else "-"
         rttvar = f"{path.rtt.rttvar_ns / 1e6:.3f}ms" if path.rtt.rttvar_ns else "-"
         label = f"  tdn:{path.tdn_id} " if multi_path else "  "
+        # Per-path telemetry: EWMA delivery rate plus the ages of the
+        # last cwnd-update / retransmit tracepoints (ss's delivery_rate
+        # and lastsnd-style fields).
+        telemetry = ""
+        if path.delivery_rate_bps > 0:
+            telemetry += f" delivery_rate:{_format_rate(path.delivery_rate_bps)}"
+        if path.last_cwnd_update_ns is not None:
+            telemetry += f" last_cwnd_update:{_format_age(conn.sim.now - path.last_cwnd_update_ns)}"
+        if path.last_retransmit_ns is not None:
+            telemetry += f" last_retransmit:{_format_age(conn.sim.now - path.last_retransmit_ns)}"
         lines.append(
             f"{label}{path.cc.name} cwnd:{path.cc.cwnd:.1f}"
             + (
@@ -52,6 +78,7 @@ def describe_connection(conn: TCPConnection) -> str:
             + f" rtt:{srtt}/{rttvar}"
             f" state:{path.ca_state.value}"
             f" pipe:{path.packets_out}/{path.sacked_out}/{path.lost_out}/{path.retrans_out}"
+            + telemetry
         )
     extra = getattr(conn, "tdn_state", None)
     if extra is not None and not getattr(conn, "downgraded", False):

@@ -1,0 +1,280 @@
+"""Unified telemetry subsystem: tracepoints, metrics, exporters,
+profiling, and the end-to-end determinism contract."""
+
+import json
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.obs import (
+    DISABLED,
+    NULL_TRACEPOINT,
+    MemoryExporter,
+    MetricsRegistry,
+    ObsConfig,
+    SimulatorProfiler,
+    Telemetry,
+    TracepointRegistry,
+    log2_bucket,
+    render_chrome_trace,
+    render_jsonl,
+)
+from repro.rdcn.config import RDCNConfig
+from repro.sim.simulator import Simulator
+
+
+class TestTracepoints:
+    def test_disabled_until_subscribed(self):
+        registry = TracepointRegistry()
+        tp = registry.get("tcp:cwnd_update")
+        assert not tp.enabled
+        assert not tp  # __bool__
+        seen = []
+        tp.subscribe(lambda t, n, f: seen.append((t, n, f)))
+        assert tp.enabled
+        tp.emit(5, conn="c1", cwnd=10)
+        assert seen == [(5, "tcp:cwnd_update", {"conn": "c1", "cwnd": 10})]
+
+    def test_unsubscribe_disables(self):
+        registry = TracepointRegistry()
+        tp = registry.get("queue:drop")
+        fn = lambda t, n, f: None
+        tp.subscribe(fn)
+        tp.unsubscribe(fn)
+        assert not tp.enabled
+
+    def test_identity_stable_across_get(self):
+        registry = TracepointRegistry()
+        first = registry.get("tcp:retransmit")
+        registry.subscribe("tcp:*", lambda t, n, f: None)
+        # Instrumented code that fetched the tracepoint earlier must see
+        # the later subscription.
+        assert first is registry.get("tcp:retransmit")
+        assert first.enabled
+
+    def test_glob_subscription(self):
+        registry = TracepointRegistry()
+        touched = registry.subscribe("tcp:*", lambda t, n, f: None)
+        names = {tp.name for tp in touched}
+        assert names == {"tcp:cwnd_update", "tcp:retransmit", "tcp:ca_state"}
+        assert not registry.get("queue:drop").enabled
+
+    def test_unknown_name_auto_registers(self):
+        registry = TracepointRegistry()
+        tp = registry.get("custom:probe")
+        assert tp.name == "custom:probe"
+        assert registry.get("custom:probe") is tp
+
+    def test_null_tracepoint_rejects_subscribers(self):
+        assert not NULL_TRACEPOINT.enabled
+        with pytest.raises(RuntimeError):
+            NULL_TRACEPOINT.subscribe(lambda t, n, f: None)
+
+    def test_telemetry_of_unattached_sim_is_disabled(self):
+        sim = Simulator()
+        telemetry = Telemetry.of(sim)
+        assert telemetry is DISABLED
+        assert telemetry.tracepoint("tcp:cwnd_update") is NULL_TRACEPOINT
+
+    def test_telemetry_of_attached_sim(self):
+        sim = Simulator()
+        telemetry = Telemetry(ObsConfig()).attach(sim)
+        assert Telemetry.of(sim) is telemetry
+
+
+class TestMetrics:
+    def test_counter_labels(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("retx_total", labelnames=("conn",))
+        counter.inc(conn="a")
+        counter.inc(2, conn="a")
+        counter.inc(conn="b")
+        assert counter.value(conn="a") == 3
+        assert counter.total() == 4
+        with pytest.raises(ValueError):
+            counter.inc(conn="a", extra=1)
+        with pytest.raises(ValueError):
+            counter.inc(-1, conn="a")
+
+    def test_registry_shape_check(self):
+        registry = MetricsRegistry()
+        registry.counter("x", labelnames=("a",))
+        assert registry.counter("x", labelnames=("a",)) is registry.get("x")
+        with pytest.raises(ValueError):
+            registry.counter("x", labelnames=("b",))
+        with pytest.raises(ValueError):
+            registry.gauge("x", labelnames=("a",))
+
+    def test_log2_bucketing(self):
+        assert log2_bucket(0) == 0
+        assert log2_bucket(1) == 0
+        assert log2_bucket(2) == 1
+        assert log2_bucket(3) == 2
+        assert log2_bucket(4) == 2
+        assert log2_bucket(5) == 3
+        assert log2_bucket(1024) == 10
+        assert log2_bucket(1025) == 11
+
+    def test_histogram_buckets_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat")
+        for value in (1, 2, 3, 4, 100):
+            hist.observe(value)
+        assert hist.count() == 5
+        pairs = dict(hist.buckets())
+        # upper bound -> cumulative count
+        assert pairs[1.0] == 1          # value 1
+        assert pairs[2.0] == 2          # + value 2
+        assert pairs[4.0] == 4          # + values 3, 4
+        assert pairs[128.0] == 5        # + value 100
+        assert hist.quantile(0.5) == 4.0  # median 3 lands in the le=4 bucket
+        assert hist.quantile(1.0) == 128.0
+
+    def test_snapshot_is_json_ready(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labelnames=("k",)).inc(k="v")
+        registry.histogram("h").observe(7)
+        text = json.dumps(registry.snapshot(), sort_keys=True)
+        assert "\"c\"" in text and "\"h\"" in text
+
+
+class TestExporters:
+    def _sample_events(self):
+        buffer = MemoryExporter()
+        buffer(0, "rdcn:day_night", {"phase": "day", "tdn": 1, "day_index": 0})
+        buffer(10, "tcp:cwnd_update", {
+            "conn": "c1", "tdn": 1, "cwnd": 12.0,
+            "ssthresh": float("inf"), "ca_state": "open", "reason": "ack",
+        })
+        buffer(20, "queue:occupancy", {"queue": "voq", "length": 3})
+        buffer(30, "rdcn:day_night", {"phase": "night", "tdn": None, "day_index": 0})
+        buffer(40, "tcp:retransmit", {
+            "conn": "c1", "tdn": 1, "seq": 99, "retx_count": 1,
+            "probe": False, "spurious": False,
+        })
+        return buffer.events
+
+    def test_jsonl_round_trips_and_sanitizes_infinity(self):
+        text = render_jsonl(self._sample_events())
+        lines = text.splitlines()
+        assert len(lines) == 5
+        records = [json.loads(line) for line in lines]  # strict JSON
+        assert records[0]["tp"] == "rdcn:day_night"
+        assert records[1]["ssthresh"] is None  # inf is not valid JSON
+        assert records[2] == {"tp": "queue:occupancy", "ts": 20, "queue": "voq", "length": 3}
+
+    def test_chrome_trace_is_valid_and_complete(self):
+        doc = render_chrome_trace(self._sample_events())
+        text = json.dumps(doc)
+        parsed = json.loads(text)  # round-trip through strict JSON
+        events = parsed["traceEvents"]
+        assert events, "trace must not be empty"
+        for event in events:
+            assert "ph" in event and "ts" in event and "pid" in event
+        phases = {event["ph"] for event in events}
+        # day slice opens and closes, counters and instants present,
+        # metadata names the tracks.
+        assert {"B", "E", "C", "i", "M"} <= phases
+
+    def test_chrome_trace_day_slices_balance(self):
+        doc = render_chrome_trace(self._sample_events())
+        begins = [e for e in doc["traceEvents"] if e["ph"] == "B"]
+        ends = [e for e in doc["traceEvents"] if e["ph"] == "E"]
+        assert len(begins) == len(ends) == 1
+
+    def test_memory_exporter_families(self):
+        events = self._sample_events()
+        buffer = MemoryExporter()
+        for time_ns, name, fields in events:
+            buffer(time_ns, name, fields)
+        assert buffer.families() == sorted(
+            {"rdcn:day_night", "tcp:cwnd_update", "queue:occupancy", "tcp:retransmit"}
+        )
+        assert len(buffer.by_name("rdcn:day_night")) == 2
+
+
+class TestProfiler:
+    def test_attribution_by_qualname(self):
+        sim = Simulator()
+        profiler = SimulatorProfiler()
+        sim.profiler = profiler
+
+        def tick():
+            pass
+
+        for delay in (10, 20, 30):
+            sim.schedule(delay, tick)
+        sim.run()
+        assert profiler.events == 3
+        rows = profiler.callback_stats()
+        assert len(rows) == 1
+        assert rows[0]["count"] == 3
+        assert "tick" in rows[0]["callback"]
+        assert profiler.events_per_second > 0
+        report = profiler.report()
+        assert "3 events" in report and "tick" in report
+
+    def test_unprofiled_run_has_no_profiler(self):
+        sim = Simulator()
+        sim.schedule(1, lambda: None)
+        sim.run()
+        assert sim.profiler is None
+
+
+class TestEndToEnd:
+    def _run(self, tmp_path, label):
+        obs = ObsConfig(
+            trace_dir=str(tmp_path / label), metrics_dir=str(tmp_path / label),
+            profile=True, label="run",
+        )
+        config = ExperimentConfig(
+            variant="tdtcp",
+            rdcn=RDCNConfig(),
+            n_flows=2,
+            weeks=3,
+            warmup_weeks=1,
+            seed=7,
+            obs=obs,
+        )
+        return run_experiment(config)
+
+    def test_identical_seeded_runs_are_byte_identical(self, tmp_path):
+        first = self._run(tmp_path, "a")
+        second = self._run(tmp_path, "b")
+        jsonl_a = (tmp_path / "a" / "run.jsonl").read_bytes()
+        jsonl_b = (tmp_path / "b" / "run.jsonl").read_bytes()
+        assert jsonl_a == jsonl_b
+        assert jsonl_a  # not trivially empty
+        trace_a = (tmp_path / "a" / "run.trace.json").read_bytes()
+        trace_b = (tmp_path / "b" / "run.trace.json").read_bytes()
+        assert trace_a == trace_b
+        assert first.artifacts and second.artifacts
+
+    def test_run_emits_core_families_and_profile(self, tmp_path):
+        result = self._run(tmp_path, "c")
+        families = set()
+        with open(tmp_path / "c" / "run.jsonl") as handle:
+            for line in handle:
+                families.add(json.loads(line)["tp"])
+        assert {
+            "tcp:cwnd_update",
+            "tdtcp:tdn_switch",
+            "rdcn:day_night",
+            "queue:occupancy",
+            "notifier:deliver",
+        } <= families
+        assert result.profile_report is not None
+        assert "events/s" in result.profile_report
+        assert result.events_per_second and result.events_per_second > 0
+        metrics = json.loads((tmp_path / "c" / "run_metrics.json").read_text())
+        assert metrics["tdtcp_switches_total"]["kind"] == "counter"
+
+    def test_disabled_obs_leaves_simulator_clean(self):
+        config = ExperimentConfig(
+            variant="tdtcp", rdcn=RDCNConfig(), n_flows=2, weeks=3,
+            warmup_weeks=1, seed=7,
+        )
+        result = run_experiment(config)
+        assert result.artifacts == []
+        assert result.profile_report is None

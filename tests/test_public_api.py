@@ -68,6 +68,12 @@ MODULES = [
     "repro.apps.shortflows",
     "repro.apps.tracegen",
     "repro.apps.incast",
+    "repro.obs",
+    "repro.obs.tracepoints",
+    "repro.obs.metrics",
+    "repro.obs.exporters",
+    "repro.obs.profiling",
+    "repro.obs.telemetry",
     "repro.metrics",
     "repro.metrics.collectors",
     "repro.metrics.seqgraph",
@@ -94,7 +100,7 @@ def test_module_imports_and_documented(name):
     "name",
     ["repro", "repro.sim", "repro.net", "repro.rdcn", "repro.tcp",
      "repro.core", "repro.mptcp", "repro.retcp", "repro.apps",
-     "repro.metrics"],
+     "repro.metrics", "repro.obs"],
 )
 def test_all_exports_resolve(name):
     module = importlib.import_module(name)

@@ -38,7 +38,6 @@ class TestEventQueue:
         e1 = q.push(10, lambda: None)
         q.push(20, lambda: None)
         e1.cancel()
-        q.note_cancelled()
         assert len(q) == 1
         popped = q.pop()
         assert popped is not None and popped.time == 20
@@ -48,8 +47,30 @@ class TestEventQueue:
         e1 = q.push(10, lambda: None)
         q.push(20, lambda: None)
         e1.cancel()
-        q.note_cancelled()
         assert q.peek_time() == 20
+
+    def test_direct_cancel_keeps_live_count_exact(self):
+        # Regression: Event.cancel() used to need a separate
+        # note_cancelled() bookkeeping call on the queue; forgetting it
+        # desynced len(q) / Simulator.pending_events.
+        q = EventQueue()
+        e1 = q.push(10, lambda: None)
+        e2 = q.push(20, lambda: None)
+        e1.cancel()
+        e1.cancel()  # idempotent: must not double-decrement
+        assert len(q) == 1
+        e2.cancel()
+        assert len(q) == 0
+        assert q.pop() is None
+
+    def test_simulator_pending_events_after_direct_cancel(self):
+        sim = Simulator()
+        event = sim.schedule(100, lambda: None)
+        sim.schedule(200, lambda: None)
+        event.cancel()  # bypassing sim.cancel() must stay exact
+        assert sim.pending_events == 1
+        sim.run()
+        assert sim.processed_events == 1
 
     def test_len_counts_live(self):
         q = EventQueue()
