@@ -1,0 +1,328 @@
+#!/usr/bin/env python
+"""Performance-regression harness for the simulator core.
+
+Runs three fixed seeded workloads and one per-ACK micro-benchmark,
+emits ``BENCH_simcore.json`` (events/s, ns/ACK, peak RSS, trace
+digests), and — given a committed baseline — verifies that
+
+* the JSONL telemetry trace of every workload is **byte-identical** to
+  the baseline's (a perf change must not change any simulation result),
+* events/s has not regressed by more than ``--tolerance`` (default 20%).
+
+Workloads (all seeded, all deterministic):
+
+* ``bulk`` — fig-7 style: 8 long-lived TDTCP flows across the
+  reconfigurable fabric (the paper's headline workload);
+* ``incast`` — barrier-style N-to-1 convergence on the shared VOQ;
+* ``shortflows`` — Poisson churn of 15 KB RPCs (connection setup /
+  teardown pressure on the event core).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_harness.py                  # full scale
+    PYTHONPATH=src python benchmarks/perf_harness.py --quick          # CI scale
+    PYTHONPATH=src python benchmarks/perf_harness.py --quick \\
+        --baseline benchmarks/results/BENCH_simcore_quick.json        # regression gate
+
+Exit codes: 0 ok, 1 events/s regression beyond tolerance, 2 trace
+divergence (simulation behavior changed — never acceptable for a perf
+PR), 3 baseline/mode mismatch.
+
+The JSON schema is documented in ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import pathlib
+import sys
+import tempfile
+from dataclasses import replace
+from time import perf_counter
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-Unix
+    resource = None
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.apps.incast import run_incast  # noqa: E402
+from repro.apps.shortflows import run_short_flow_study  # noqa: E402
+from repro.apps.workload import build_workload  # noqa: E402
+from repro.core.tdtcp import TDTCPConnection  # noqa: E402
+from repro.experiments.config import ExperimentConfig  # noqa: E402
+from repro.experiments.variants import get_variant  # noqa: E402
+from repro.obs.telemetry import ObsConfig, Telemetry  # noqa: E402
+from repro.rdcn.config import RDCNConfig  # noqa: E402
+from repro.rdcn.topology import build_two_rack_testbed  # noqa: E402
+from repro.sim.simulator import Simulator  # noqa: E402
+from repro.units import usec  # noqa: E402
+
+SCHEMA = "bench-simcore/1"
+DEFAULT_OUT = REPO_ROOT / "benchmarks" / "results" / "BENCH_simcore.json"
+
+# Workload scales. "full" is the committed reference; "quick" is sized
+# for CI (same mechanisms, smaller horizon — digests differ by design,
+# so baselines are only comparable within the same mode).
+SCALES = {
+    "full": {"seed": 1, "bulk_weeks": 10, "bulk_flows": 8,
+             "incast_weeks": 16, "incast_workers": 8, "short_weeks": 20},
+    "quick": {"seed": 1, "bulk_weeks": 4, "bulk_flows": 4,
+              "incast_weeks": 8, "incast_workers": 4, "short_weeks": 8},
+}
+
+
+def _telemetry_sim(trace_dir: pathlib.Path, label: str):
+    """A simulator with a JSONL-only telemetry recorder attached."""
+    sim = Simulator()
+    telemetry = Telemetry(
+        ObsConfig(trace_dir=str(trace_dir), label=label,
+                  jsonl=True, chrome_trace=False, csv=False)
+    ).attach(sim)
+    return sim, telemetry
+
+
+def _trace_digest(telemetry: Telemetry) -> dict:
+    """Write the JSONL artifact and hash its bytes."""
+    (jsonl_path,) = [p for p in telemetry.finish() if p.endswith(".jsonl")]
+    data = pathlib.Path(jsonl_path).read_bytes()
+    return {
+        "trace_sha256": hashlib.sha256(data).hexdigest(),
+        "trace_lines": data.count(b"\n"),
+    }
+
+
+def run_bulk(scale: dict, trace_dir: pathlib.Path) -> dict:
+    """Fig-7 style bulk transfer: N TDTCP flows, full telemetry."""
+    cfg = ExperimentConfig(
+        variant="tdtcp",
+        n_flows=scale["bulk_flows"],
+        weeks=scale["bulk_weeks"],
+        warmup_weeks=2,
+        seed=scale["seed"],
+    )
+    sim, telemetry = _telemetry_sim(trace_dir, "bench_bulk")
+    variant = get_variant(cfg.variant)
+    testbed = build_two_rack_testbed(
+        replace(cfg.rdcn, seed=cfg.seed), sim=sim, ecn=variant.needs_ecn
+    )
+    context = variant.prepare(testbed, cfg)
+    workload = build_workload(
+        testbed,
+        lambda tb, src, dst, i: variant.make_flow(tb, src, dst, i, cfg, context),
+        n_flows=cfg.n_flows,
+        trace_sequence=False,
+    )
+    testbed.start()
+    started = perf_counter()
+    sim.run(until=cfg.duration_ns)
+    wall_s = perf_counter() - started
+    row = {
+        "events": sim.processed_events,
+        "wall_s": round(wall_s, 4),
+        "events_per_sec": round(sim.processed_events / wall_s, 1),
+        "delivered_bytes": workload.total_delivered_bytes,
+    }
+    row.update(_trace_digest(telemetry))
+    return row
+
+
+def run_incast_workload(scale: dict, trace_dir: pathlib.Path) -> dict:
+    """Barrier-style N-to-1 incast on the shared VOQ."""
+    sim, telemetry = _telemetry_sim(trace_dir, "bench_incast")
+    testbed = build_two_rack_testbed(
+        RDCNConfig(n_hosts_per_rack=max(scale["incast_workers"], 4), seed=scale["seed"]),
+        sim=sim,
+    )
+    started = perf_counter()
+    coordinator = run_incast(
+        testbed,
+        n_workers=scale["incast_workers"],
+        duration_ns=testbed.config.week_ns * scale["incast_weeks"],
+        connection_cls=TDTCPConnection,
+        tdn_count=2,
+    )
+    wall_s = perf_counter() - started
+    row = {
+        "events": sim.processed_events,
+        "wall_s": round(wall_s, 4),
+        "events_per_sec": round(sim.processed_events / wall_s, 1),
+        "completed_rounds": len(coordinator.stats.completed),
+    }
+    row.update(_trace_digest(telemetry))
+    return row
+
+
+def run_shortflow_workload(scale: dict, trace_dir: pathlib.Path) -> dict:
+    """Poisson short-flow churn: connection setup/teardown pressure."""
+    sim, telemetry = _telemetry_sim(trace_dir, "bench_shortflows")
+    testbed = build_two_rack_testbed(RDCNConfig(seed=scale["seed"]), sim=sim)
+    started = perf_counter()
+    stats = run_short_flow_study(
+        testbed,
+        TDTCPConnection,
+        duration_ns=testbed.config.week_ns * scale["short_weeks"],
+        flow_size_bytes=15_000,
+        mean_interarrival_ns=usec(400),
+        tdn_count=2,
+    )
+    wall_s = perf_counter() - started
+    row = {
+        "events": sim.processed_events,
+        "wall_s": round(wall_s, 4),
+        "events_per_sec": round(sim.processed_events / wall_s, 1),
+        "completed_flows": len(stats.completed),
+    }
+    row.update(_trace_digest(telemetry))
+    return row
+
+
+def run_ack_micro(scale: dict) -> dict:
+    """ns/ACK of the sender-side pipeline, measured in situ.
+
+    Times ``TCPConnection._handle_ack`` (cum-ACK collection, SACK
+    application, RTT sampling, RACK detection, CC credit) over a bulk
+    cubic run — the per-ACK cost the indexed scoreboard targets.
+    """
+    import repro.tcp.connection as conn_mod
+
+    original = conn_mod.TCPConnection._handle_ack
+    counters = {"acks": 0, "wall_s": 0.0}
+
+    def timed_handle_ack(self, pkt):
+        started = perf_counter()
+        original(self, pkt)
+        counters["wall_s"] += perf_counter() - started
+        counters["acks"] += 1
+
+    cfg = ExperimentConfig(
+        variant="cubic", n_flows=2, weeks=max(scale["bulk_weeks"] // 2, 3),
+        warmup_weeks=1, seed=scale["seed"],
+    )
+    variant = get_variant(cfg.variant)
+    testbed = build_two_rack_testbed(replace(cfg.rdcn, seed=cfg.seed))
+    context = variant.prepare(testbed, cfg)
+    workload = build_workload(
+        testbed,
+        lambda tb, src, dst, i: variant.make_flow(tb, src, dst, i, cfg, context),
+        n_flows=cfg.n_flows,
+        trace_sequence=False,
+    )
+    conn_mod.TCPConnection._handle_ack = timed_handle_ack
+    try:
+        testbed.start()
+        testbed.sim.run(until=cfg.duration_ns)
+    finally:
+        conn_mod.TCPConnection._handle_ack = original
+    del workload
+    acks = counters["acks"]
+    return {
+        "acks": acks,
+        "ns_per_ack": round(counters["wall_s"] * 1e9 / acks, 1) if acks else None,
+    }
+
+
+def run_all(mode: str) -> dict:
+    scale = SCALES[mode]
+    report = {"schema": SCHEMA, "mode": mode, "workloads": {}}
+    with tempfile.TemporaryDirectory(prefix="bench-simcore-") as tmp:
+        trace_dir = pathlib.Path(tmp)
+        for name, runner in (
+            ("bulk", run_bulk),
+            ("incast", run_incast_workload),
+            ("shortflows", run_shortflow_workload),
+        ):
+            print(f"[perf-harness] running {name} ({mode})...", flush=True)
+            report["workloads"][name] = runner(scale, trace_dir)
+            row = report["workloads"][name]
+            print(
+                f"[perf-harness]   {row['events']:,} events in {row['wall_s']:.2f}s"
+                f" -> {row['events_per_sec']:,.0f} events/s"
+                f" (trace {row['trace_sha256'][:12]}..., {row['trace_lines']} lines)",
+                flush=True,
+            )
+    print("[perf-harness] running ack-pipeline micro...", flush=True)
+    report["ack_pipeline"] = run_ack_micro(scale)
+    micro = report["ack_pipeline"]
+    print(f"[perf-harness]   {micro['acks']:,} ACKs -> {micro['ns_per_ack']} ns/ACK", flush=True)
+    if resource is not None:
+        report["peak_rss_kb"] = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return report
+
+
+def compare(report: dict, baseline: dict, tolerance: float) -> int:
+    """Gate the fresh report against a committed baseline. Returns an
+    exit code (0 ok / 1 perf regression / 2 trace divergence / 3 bad
+    baseline)."""
+    if baseline.get("schema") != SCHEMA or baseline.get("mode") != report["mode"]:
+        print(
+            f"[perf-harness] FAIL: baseline schema/mode mismatch "
+            f"(baseline {baseline.get('schema')}/{baseline.get('mode')}, "
+            f"fresh {SCHEMA}/{report['mode']})",
+            file=sys.stderr,
+        )
+        return 3
+    status = 0
+    comparison = {"baseline_mode": baseline["mode"], "traces_identical": True}
+    for name, fresh in report["workloads"].items():
+        base = baseline["workloads"].get(name)
+        if base is None:
+            continue
+        if fresh["trace_sha256"] != base["trace_sha256"]:
+            comparison["traces_identical"] = False
+            print(
+                f"[perf-harness] FAIL: {name} trace diverged from baseline "
+                f"({fresh['trace_sha256'][:12]}... vs {base['trace_sha256'][:12]}...) "
+                f"— the change altered simulation results",
+                file=sys.stderr,
+            )
+            status = 2
+        ratio = fresh["events_per_sec"] / base["events_per_sec"]
+        comparison[f"{name}_events_per_sec_ratio"] = round(ratio, 3)
+        if ratio < 1.0 - tolerance and status == 0:
+            print(
+                f"[perf-harness] FAIL: {name} events/s regressed to "
+                f"{ratio:.2f}x of baseline (tolerance {1.0 - tolerance:.2f}x)",
+                file=sys.stderr,
+            )
+            status = 1
+    base_micro = baseline.get("ack_pipeline", {})
+    if base_micro.get("ns_per_ack") and report["ack_pipeline"]["ns_per_ack"]:
+        comparison["ns_per_ack_ratio"] = round(
+            report["ack_pipeline"]["ns_per_ack"] / base_micro["ns_per_ack"], 3
+        )
+    report["baseline"] = comparison
+    if status == 0:
+        print("[perf-harness] baseline check ok: traces identical, no events/s regression")
+    return status
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI scale (smaller horizons)")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
+                        help=f"output JSON path (default {DEFAULT_OUT})")
+    parser.add_argument("--baseline", type=pathlib.Path, default=None,
+                        help="committed BENCH_simcore.json to gate against")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="max events/s regression vs baseline (default 0.20)")
+    args = parser.parse_args(argv)
+
+    report = run_all("quick" if args.quick else "full")
+    status = 0
+    if args.baseline is not None:
+        baseline = json.loads(args.baseline.read_text())
+        status = compare(report, baseline, args.tolerance)
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"[perf-harness] wrote {args.out}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

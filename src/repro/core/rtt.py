@@ -42,14 +42,22 @@ def pessimistic_rto_ns(
     """RTO based on the synthesized worst-case return path (§4.4)."""
     current = paths[current_index]
     srtt_n = current.rtt.srtt_ns
-    slowest = max((p.rtt.srtt_ns or 0 for p in paths), default=0)
+    # One pass over the paths for both the slowest srtt and the largest
+    # rttvar (the return TDN is unknown, so assume the worst of each).
+    slowest = 0
+    rttvar = 0
+    for p in paths:
+        estimator = p.rtt
+        srtt = estimator.srtt_ns
+        if srtt is not None and srtt > slowest:
+            slowest = srtt
+        var = estimator.rttvar_ns
+        if var is not None and var > rttvar:
+            rttvar = var
     if srtt_n is None and slowest == 0:
         return max(initial_rto_ns, min_rto_ns)
     if srtt_n is None:
         srtt_n = slowest
     synth = srtt_n // 2 + slowest // 2
-    # Variance guard: the largest rttvar across TDNs, since the return
-    # TDN is unknown.
-    rttvar = max((p.rtt.rttvar_ns or 0 for p in paths), default=0)
     rto = synth + max(4 * rttvar, 1)
     return min(max(rto, min_rto_ns), max_rto_ns)

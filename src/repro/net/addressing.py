@@ -27,15 +27,26 @@ def host_address(rack: int, host: int) -> str:
     return f"r{rack}h{host}"
 
 
+_rack_of_cache: dict = {}
+
+
 def rack_of(address: str) -> int:
     """Rack index encoded in a host address.
+
+    Memoized: the fabric consults this per packet hop, and the universe
+    of addresses in a run is tiny and fixed.
 
     >>> rack_of("r1h7")
     1
     """
+    rack = _rack_of_cache.get(address)
+    if rack is not None:
+        return rack
     if not address.startswith("r") or "h" not in address:
         raise ValueError(f"not a host address: {address!r}")
-    return int(address[1:address.index("h")])
+    rack = int(address[1:address.index("h")])
+    _rack_of_cache[address] = rack
+    return rack
 
 
 def host_index_of(address: str) -> int:

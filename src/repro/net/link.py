@@ -9,11 +9,15 @@ dropped (and flagged, so loss accounting sees ground truth).
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush as _heappush
 from typing import Callable, Optional
 
 from repro.net.packet import Packet
+from repro.sim.events import Event
 from repro.sim.simulator import Simulator
 from repro.units import serialization_delay_ns
+
+_new_event = object.__new__
 
 
 class Link:
@@ -49,20 +53,51 @@ class Link:
         self.tx_bytes = 0
         self.drops = 0
         self.queued_bytes = 0
+        # Per-size serialization delay memo: packet sizes in a run come
+        # from a handful of fixed values (MSS + header combinations), so
+        # the float division/round is paid once per distinct size.
+        self._tx_delay_cache: dict = {}
 
     def __len__(self) -> int:
         return len(self._fifo)
 
     def send(self, packet: Packet) -> bool:
         """Enqueue a packet for transmission. Returns False on drop."""
-        if self.queue_capacity is not None and len(self._fifo) >= self.queue_capacity:
+        fifo = self._fifo
+        if self.queue_capacity is not None and len(fifo) >= self.queue_capacity:
             packet.dropped = True
             self.drops += 1
             return False
-        self._fifo.append(packet)
-        self.queued_bytes += packet.size
-        if not self._busy:
-            self._start_next()
+        if self._busy:
+            fifo.append(packet)
+            self.queued_bytes += packet.size
+            return True
+        # Idle link: start serializing immediately, skipping the FIFO
+        # append/popleft round-trip (queued_bytes nets to the same value
+        # either way, and nothing observes the transient). _start_next
+        # stays as the reference for the busy path.
+        self._busy = True
+        size = packet.size
+        tx_delay = self._tx_delay_cache.get(size)
+        if tx_delay is None:
+            tx_delay = serialization_delay_ns(size, self.rate_bps)
+            self._tx_delay_cache[size] = tx_delay
+        self.tx_packets += 1
+        self.tx_bytes += size
+        sim = self.sim
+        queue = sim._queue
+        time = sim.now + tx_delay
+        seq = queue._seq
+        event = _new_event(Event)
+        event.time = time
+        event.seq = seq
+        event.fn = self._tx_done
+        event.args = (packet,)
+        event.cancelled = False
+        event._queue = queue
+        queue._seq = seq + 1
+        _heappush(queue._heap, (time, seq, event))
+        queue._live += 1
         return True
 
     def backlog_ns(self) -> int:
@@ -76,12 +111,50 @@ class Link:
             return
         self._busy = True
         packet = self._fifo.popleft()
-        self.queued_bytes -= packet.size
-        tx_delay = serialization_delay_ns(packet.size, self.rate_bps)
+        size = packet.size
+        self.queued_bytes -= size
+        tx_delay = self._tx_delay_cache.get(size)
+        if tx_delay is None:
+            tx_delay = serialization_delay_ns(size, self.rate_bps)
+            self._tx_delay_cache[size] = tx_delay
         self.tx_packets += 1
-        self.tx_bytes += packet.size
-        self.sim.schedule(tx_delay, self._tx_done, packet)
+        self.tx_bytes += size
+        # Inlined Simulator.schedule (same layout): links schedule two
+        # events per forwarded packet, the busiest schedule sites in the
+        # whole simulator.
+        sim = self.sim
+        queue = sim._queue
+        time = sim.now + tx_delay
+        seq = queue._seq
+        event = _new_event(Event)
+        event.time = time
+        event.seq = seq
+        event.fn = self._tx_done
+        event.args = (packet,)
+        event.cancelled = False
+        event._queue = queue
+        queue._seq = seq + 1
+        _heappush(queue._heap, (time, seq, event))
+        queue._live += 1
 
     def _tx_done(self, packet: Packet) -> None:
-        self.sim.schedule(self.prop_delay_ns, self.deliver, packet)
-        self._start_next()
+        sim = self.sim
+        queue = sim._queue
+        time = sim.now + self.prop_delay_ns
+        seq = queue._seq
+        event = _new_event(Event)
+        event.time = time
+        event.seq = seq
+        event.fn = self.deliver
+        event.args = (packet,)
+        event.cancelled = False
+        event._queue = queue
+        queue._seq = seq + 1
+        _heappush(queue._heap, (time, seq, event))
+        queue._live += 1
+        # _start_next's empty-FIFO early-out inlined: most _tx_done
+        # calls find nothing else queued.
+        if self._fifo:
+            self._start_next()
+        else:
+            self._busy = False

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Protocol
 
-from repro.net.addressing import FlowKey, flow_key_of
+from repro.net.addressing import FlowKey
 from repro.net.link import Link
 from repro.net.packet import Packet, TCPSegment, TDNNotification
 from repro.sim.simulator import Simulator
@@ -75,17 +75,23 @@ class Host:
     def deliver(self, packet: Packet) -> None:
         """Entry point for packets arriving from the ToR."""
         self.rx_packets += 1
+        # TCP segments dominate; test for them first.
+        if isinstance(packet, TCPSegment):
+            # Plain tuple instead of flow_key_of(): a NamedTuple hashes
+            # and compares like the tuple of its fields, so the demux
+            # lookup skips the FlowKey construction on the per-packet path.
+            handler = self._connections.get(
+                (packet.dst, packet.dport, packet.src, packet.sport)
+            )
+            if handler is not None:
+                handler.receive(packet)
+            # Unmatched segments are dropped silently (no RST modelling).
+            return
         if isinstance(packet, TDNNotification):
             if self.notification_processing_ns > 0:
                 self.sim.schedule(self.notification_processing_ns, self._dispatch_notification, packet)
             else:
                 self._dispatch_notification(packet)
-            return
-        if isinstance(packet, TCPSegment):
-            handler = self._connections.get(flow_key_of(packet))
-            if handler is not None:
-                handler.receive(packet)
-            # Unmatched segments are dropped silently (no RST modelling).
             return
         # Opaque packets (background traffic) are sinks.
 

@@ -119,8 +119,20 @@ class TCPSegment(Packet):
         fin: bool = False,
         created_ns: int = 0,
     ):
-        size = ETH_IP_TCP_HEADER + payload_len
-        super().__init__(src, dst, size, created_ns)
+        # Base-class attributes set inline: this constructor runs once
+        # per simulated packet, and the super().__init__ dispatch is
+        # measurable there.
+        self.pid = next(_packet_ids)
+        self.src = src
+        self.dst = dst
+        self.size = ETH_IP_TCP_HEADER + payload_len
+        self.created_ns = created_ns
+        self.ce = False
+        self.ecn_capable = False
+        self.dropped = False
+        self.enqueued_ns = 0
+        self.network_id = None
+        self.relayed = False
         self.sport = sport
         self.dport = dport
         self.seq = seq

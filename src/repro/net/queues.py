@@ -27,6 +27,10 @@ class DropTailQueue:
     :meth:`repro.obs.telemetry.Telemetry.instrument_queue`).
     """
 
+    # Class-level gate: subclasses that implement :meth:`_mark` set this
+    # True so the base push() skips a no-op method call per enqueue.
+    _marks = False
+
     def __init__(self, capacity: int, name: str = "queue"):
         if capacity <= 0:
             raise ValueError("queue capacity must be positive")
@@ -53,6 +57,11 @@ class DropTailQueue:
         self._drop_listeners.append(fn)
 
     def _notify_length(self) -> None:
+        # Zero-listener fast path: most simulations attach no occupancy
+        # observers, so the per-enqueue/per-pop cost must stay at one
+        # branch, not a len() plus an empty-loop setup.
+        if self.on_length_change is None and not self._length_listeners:
+            return
         length = len(self._fifo)
         if self.on_length_change is not None:
             self.on_length_change(length)
@@ -74,19 +83,38 @@ class DropTailQueue:
                 fn(packet)
             return False
         packet.enqueued_ns = now
-        self._mark(packet)
-        self._fifo.append(packet)
+        if self._marks:
+            self._mark(packet)
+        fifo = self._fifo
+        fifo.append(packet)
         self.enqueued += 1
-        if len(self._fifo) > self.max_occupancy:
-            self.max_occupancy = len(self._fifo)
-        self._notify_length()
+        length = len(fifo)
+        if length > self.max_occupancy:
+            self.max_occupancy = length
+        # _notify_length inlined (kept as the reference dispatch): the
+        # occupancy already computed above is reused for the observers.
+        on_change = self.on_length_change
+        listeners = self._length_listeners
+        if on_change is not None or listeners:
+            if on_change is not None:
+                on_change(length)
+            for fn in listeners:
+                fn(length)
         return True
 
     def pop(self) -> Optional[Packet]:
-        if not self._fifo:
+        fifo = self._fifo
+        if not fifo:
             return None
-        packet = self._fifo.popleft()
-        self._notify_length()
+        packet = fifo.popleft()
+        on_change = self.on_length_change
+        listeners = self._length_listeners
+        if on_change is not None or listeners:
+            length = len(fifo)
+            if on_change is not None:
+                on_change(length)
+            for fn in listeners:
+                fn(length)
         return packet
 
     def peek(self) -> Optional[Packet]:
@@ -99,6 +127,8 @@ class DropTailQueue:
 class ECNMarkingQueue(DropTailQueue):
     """Drop-tail queue that CE-marks ECN-capable packets when the
     instantaneous occupancy is at or above threshold K (DCTCP-style)."""
+
+    _marks = True
 
     def __init__(self, capacity: int, mark_threshold: int, name: str = "ecn-queue"):
         super().__init__(capacity, name)

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Protocol
 
-from repro.net.addressing import rack_of
+from repro.net.addressing import _rack_of_cache, rack_of
 from repro.net.link import Link
 from repro.net.packet import Packet
 from repro.sim.simulator import Simulator
@@ -74,11 +74,15 @@ class ToRSwitch:
 
     def forward(self, packet: Packet) -> None:
         """Forward a packet from a local host or from the fabric."""
-        dst_rack = rack_of(packet.dst)
+        dst = packet.dst
+        # Inline the rack_of memo hit (every forwarded packet pays this).
+        dst_rack = _rack_of_cache.get(dst)
+        if dst_rack is None:
+            dst_rack = rack_of(dst)
         if dst_rack == self.rack:
-            link = self._downlinks.get(packet.dst)
+            link = self._downlinks.get(dst)
             if link is None:
-                raise KeyError(f"{self.name}: unknown local host {packet.dst}")
+                raise KeyError(f"{self.name}: unknown local host {dst}")
             self.forwarded_local += 1
             link.send(packet)
             return

@@ -34,7 +34,9 @@ class MemoryExporter:
         self.events: List[TraceEvent] = []
 
     def __call__(self, time_ns: int, name: str, fields: Dict[str, Any]) -> None:
-        self.events.append((time_ns, name, dict(fields)))
+        # No defensive copy: each emit builds a fresh kwargs dict and no
+        # subscriber mutates it, so the buffer can keep it as-is.
+        self.events.append((time_ns, name, fields))
 
     def __len__(self) -> int:
         return len(self.events)

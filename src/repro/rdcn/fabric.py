@@ -14,12 +14,16 @@ carrying network is marked as a circuit (§6, reTCP's switch support).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from heapq import heappush as _heappush
 from typing import Callable, Dict, Optional
 
 from repro.net.packet import Packet, TCPSegment
 from repro.net.queues import DropTailQueue
+from repro.sim.events import Event
 from repro.sim.simulator import Simulator
 from repro.units import serialization_delay_ns
+
+_new_event = object.__new__
 
 
 @dataclass(frozen=True)
@@ -66,6 +70,13 @@ class RackUplink:
         self.tx_packets = 0
         self.tx_bytes = 0
         self.per_tdn_tx: Dict[int, int] = {tdn: 0 for tdn in paths}
+        # Per-path size -> serialization delay memo; path rates are
+        # fixed and packet sizes come from a handful of MSS/header
+        # combinations. ``set_active`` swaps in the active path's memo
+        # so the serve loop pays a plain dict get per packet.
+        self._tx_delay_caches: Dict[int, Dict[int, int]] = {tdn: {} for tdn in paths}
+        self._active_path: Optional[NetworkPath] = None
+        self._active_delay_cache: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Schedule hooks
@@ -76,7 +87,11 @@ class RackUplink:
             raise KeyError(f"{self.name}: unknown TDN {tdn_id}")
         self.active_tdn = tdn_id
         if tdn_id is not None:
+            self._active_path = self.paths[tdn_id]
+            self._active_delay_cache = self._tx_delay_caches[tdn_id]
             self._serve()
+        else:
+            self._active_path = None
 
     # ------------------------------------------------------------------
     # Data path
@@ -84,31 +99,80 @@ class RackUplink:
     def enqueue(self, packet: Packet) -> bool:
         """Called by the ToR; returns False if the VOQ dropped it."""
         accepted = self.queue.push(packet, self.sim.now)
-        if accepted:
+        # _serve's busy/night early-out inlined: while the server is
+        # draining, every enqueue would otherwise pay a no-op frame.
+        if accepted and not self._busy and self.active_tdn is not None:
             self._serve()
         return accepted
 
     def _serve(self) -> None:
         if self._busy or self.active_tdn is None:
             return
-        packet = self.queue.pop()
-        if packet is None:
+        # DropTailQueue.pop inlined (dequeue + observer dispatch): the
+        # VOQ drain runs once per cross-rack packet.
+        queue = self.queue
+        fifo = queue._fifo
+        if not fifo:
             return
-        path = self.paths[self.active_tdn]
-        packet.network_id = path.tdn_id
+        packet = fifo.popleft()
+        on_change = queue.on_length_change
+        listeners = queue._length_listeners
+        if on_change is not None or listeners:
+            length = len(fifo)
+            if on_change is not None:
+                on_change(length)
+            for fn in listeners:
+                fn(length)
+        path = self._active_path
+        tdn_id = path.tdn_id
+        packet.network_id = tdn_id
         if path.is_circuit and isinstance(packet, TCPSegment):
             packet.circuit_mark = True
         self._busy = True
+        size = packet.size
         self.tx_packets += 1
-        self.tx_bytes += packet.size
-        self.per_tdn_tx[path.tdn_id] += 1
-        tx_delay = serialization_delay_ns(packet.size, path.rate_bps)
-        self.sim.schedule(tx_delay, self._tx_done, packet, path)
+        self.tx_bytes += size
+        self.per_tdn_tx[tdn_id] += 1
+        cache = self._active_delay_cache
+        tx_delay = cache.get(size)
+        if tx_delay is None:
+            tx_delay = serialization_delay_ns(size, path.rate_bps)
+            cache[size] = tx_delay
+        # Inlined Simulator.schedule (same layout as in Link): one of
+        # the two busiest schedule sites in the simulator.
+        sim = self.sim
+        queue = sim._queue
+        time = sim.now + tx_delay
+        seq = queue._seq
+        event = _new_event(Event)
+        event.time = time
+        event.seq = seq
+        event.fn = self._tx_done
+        event.args = (packet, path)
+        event.cancelled = False
+        event._queue = queue
+        queue._seq = seq + 1
+        _heappush(queue._heap, (time, seq, event))
+        queue._live += 1
 
     def _tx_done(self, packet: Packet, path: NetworkPath) -> None:
         # The packet is on the wire: it arrives even if a night started
         # mid-serialization.
-        self.sim.schedule(path.one_way_delay_ns, self.deliver, packet)
+        sim = self.sim
+        queue = sim._queue
+        time = sim.now + path.one_way_delay_ns
+        seq = queue._seq
+        event = _new_event(Event)
+        event.time = time
+        event.seq = seq
+        event.fn = self.deliver
+        event.args = (packet,)
+        event.cancelled = False
+        event._queue = queue
+        queue._seq = seq + 1
+        _heappush(queue._heap, (time, seq, event))
+        queue._live += 1
         self._busy = False
-        if self.active_tdn is not None:
+        # Skip the _serve frame when the VOQ is empty or a night is on.
+        if self.active_tdn is not None and self.queue._fifo:
             self._serve()

@@ -133,7 +133,9 @@ def build_two_rack_testbed(
             sim,
             paths,
             make_voq(f"voq-r{src_rack}-to-r{dst_rack}"),
-            tors[dst_rack].deliver_local,
+            # forward directly (deliver_local is a plain delegate and
+            # would cost one frame per cross-rack packet).
+            tors[dst_rack].forward,
             name=f"uplink-r{src_rack}",
         )
         tors[src_rack].add_uplink(dst_rack, uplink)

@@ -4,6 +4,12 @@ Events are ordered by (time, insertion sequence). The insertion sequence
 guarantees that events scheduled for the same instant fire in the order
 they were scheduled, which keeps simulations deterministic without
 relying on heap implementation details.
+
+The heap stores ``(time, seq, event)`` tuples rather than the events
+themselves: tuple comparison runs entirely in C and never reaches the
+event element because ``(time, seq)`` is unique, so the hot loop pays no
+Python-level ``__lt__`` dispatch per sift step. ``Event`` keeps a
+comparison operator only for external callers that sort event lists.
 """
 
 from __future__ import annotations
@@ -58,10 +64,12 @@ class Event:
 
 
 class EventQueue:
-    """Min-heap of :class:`Event` with lazy deletion."""
+    """Min-heap of ``(time, seq, Event)`` entries with lazy deletion."""
+
+    __slots__ = ("_heap", "_seq", "_live")
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list = []
         self._seq = 0
         self._live = 0
 
@@ -70,10 +78,11 @@ class EventQueue:
 
     def push(self, time: int, fn: Callable[..., Any], args: tuple = ()) -> Event:
         """Schedule ``fn(*args)`` at absolute ``time``; returns the event."""
-        event = Event(time, self._seq, fn, args)
+        seq = self._seq
+        event = Event(time, seq, fn, args)
         event._queue = self
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, seq, event))
         self._live += 1
         return event
 
@@ -82,8 +91,9 @@ class EventQueue:
 
         Cancelled entries are lazily discarded here (their live-count
         decrement already happened in :meth:`Event.cancel`)."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
             if event.cancelled:
                 continue
             event._queue = None
@@ -93,14 +103,23 @@ class EventQueue:
 
     def peek_time(self) -> Optional[int]:
         """Time of the earliest pending event without popping it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def clear(self) -> None:
-        for event in self._heap:
+        """Drop every pending event.
+
+        Cleared events are marked cancelled, not merely orphaned: a
+        caller that kept a reference and later calls ``cancel()`` must
+        see an idempotent no-op, not a live-count decrement against
+        whatever generation of the queue exists by then.
+        """
+        for _time, _seq, event in self._heap:
+            event.cancelled = True
             event._queue = None
         self._heap.clear()
         self._live = 0

@@ -3,6 +3,15 @@
 TCP code wants timers with "arm / rearm / cancel" semantics (RTO timer,
 RACK reorder timer, TLP probe timer); this wrapper provides them without
 each call site juggling raw events.
+
+Restarts are lazy: TCP restarts its RTO/TLP timers on every ACK, almost
+always pushing the deadline *further out*, and almost never letting the
+timer actually expire. Instead of cancelling and re-inserting a heap
+entry per restart, the timer keeps its scheduled event and records the
+authoritative deadline; if the event fires before the deadline it
+re-arms itself for the remainder (a cheap no-op event) — the callback
+only ever runs at the true deadline. A restart therefore costs two
+attribute writes in the common extend-the-deadline case.
 """
 
 from __future__ import annotations
@@ -20,41 +29,73 @@ class Timer:
     its deadline. The timer never fires after :meth:`cancel`.
     """
 
+    __slots__ = ("_sim", "_fn", "_event", "_deadline", "_args", "name")
+
     def __init__(self, sim: Simulator, fn: Callable[..., Any], name: str = "timer"):
         self._sim = sim
         self._fn = fn
         self._event: Optional[Event] = None
+        self._deadline: Optional[int] = None
+        self._args: tuple = ()
         self.name = name
 
     @property
     def armed(self) -> bool:
-        return self._event is not None and not self._event.cancelled
+        return self._deadline is not None
 
     @property
     def deadline(self) -> Optional[int]:
         """Absolute expiry time, or None when not armed."""
-        if self.armed:
-            assert self._event is not None
-            return self._event.time
-        return None
+        return self._deadline
 
     def start(self, delay: int, *args: Any) -> None:
-        """(Re)arm the timer ``delay`` ns from now."""
-        self.cancel()
-        self._event = self._sim.schedule(delay, self._fire, *args)
+        """(Re)arm the timer ``delay`` ns from now.
+
+        Duplicates :meth:`start_at`'s body rather than delegating: TCP
+        restarts its RTO/TLP timers on every ACK, so the extra frame is
+        measurable.
+        """
+        time = self._sim.now + delay
+        self._deadline = time
+        self._args = args
+        event = self._event
+        if event is not None and not event.cancelled:
+            if event.time <= time:
+                return  # fires first; _fire re-arms for the remainder
+            event.cancel()  # deadline moved earlier: must reschedule
+        self._event = self._sim.at(time, self._fire)
 
     def start_at(self, time: int, *args: Any) -> None:
         """(Re)arm the timer at an absolute time."""
-        self.cancel()
-        self._event = self._sim.at(time, self._fire, *args)
+        self._deadline = time
+        self._args = args
+        event = self._event
+        if event is not None and not event.cancelled:
+            if event.time <= time:
+                return  # fires first; _fire re-arms for the remainder
+            event.cancel()  # deadline moved earlier: must reschedule
+        self._event = self._sim.at(time, self._fire)
 
     def cancel(self) -> None:
-        if self._event is not None and not self._event.cancelled:
-            self._sim.cancel(self._event)
-        self._event = None
+        self._deadline = None
+        self._args = ()
+        if self._event is not None:
+            if not self._event.cancelled:
+                self._event.cancel()
+            self._event = None
 
-    def _fire(self, *args: Any) -> None:
+    def _fire(self) -> None:
         self._event = None
+        deadline = self._deadline
+        if deadline is None:
+            return  # disarmed since this event was scheduled
+        if deadline > self._sim.now:
+            # Deadline was pushed out since: re-arm for the remainder.
+            self._event = self._sim.at(deadline, self._fire)
+            return
+        self._deadline = None
+        args = self._args
+        self._args = ()
         self._fn(*args)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -75,9 +75,28 @@ class ReceiveBuffer:
         """Accept ``[seq, end_seq)``; returns newly in-order bytes."""
         if seq > end_seq:
             raise ValueError(f"invalid segment range [{seq}, {end_seq})")
-        if end_seq <= self.rcv_nxt:
+        rcv_nxt = self.rcv_nxt
+        if end_seq <= rcv_nxt:
             self.duplicate_bytes += end_seq - seq
             return 0
+        if seq <= rcv_nxt and not self._ooo._starts:
+            # Fast path: in-order data with nothing parked out of order
+            # (the overwhelmingly common case for bulk flows). The
+            # general path below would add [rcv_nxt, end_seq) to the
+            # RangeSet and immediately remove it again — state-identical
+            # to doing neither. Only the recent-block list and delivery
+            # counters advance.
+            recent = self._recent
+            if recent:
+                self._recent = recent = [
+                    (s, e) for (s, e) in recent if not (rcv_nxt <= s < end_seq)
+                ]
+            recent.insert(0, (rcv_nxt, end_seq))
+            del recent[8:]
+            delivered = end_seq - rcv_nxt
+            self.rcv_nxt = end_seq
+            self.total_delivered += delivered
+            return delivered
         clipped_seq = max(seq, self.rcv_nxt)
         if clipped_seq < seq or self._ooo.covers(clipped_seq, end_seq):
             self.duplicate_bytes += min(end_seq, max(seq, self.rcv_nxt)) - seq
@@ -104,12 +123,12 @@ class ReceiveBuffer:
         """Up to ``max_sack_blocks`` SACK blocks, most recent first."""
         if not self._ooo:
             return ()
-        current = {r[0]: r for r in self._ooo.ranges()}
+        live = self._ooo.ranges()
         blocks: List[Tuple[int, int]] = []
         seen = set()
         for s, _e in self._recent:
             # Find the live range containing this representative point.
-            for r_start, r_end in self._ooo.ranges():
+            for r_start, r_end in live:
                 if r_start <= s < r_end and (r_start, r_end) not in seen:
                     blocks.append((r_start, r_end))
                     seen.add((r_start, r_end))
@@ -118,11 +137,10 @@ class ReceiveBuffer:
                 break
         # Fill with any remaining ranges (oldest) if short.
         if len(blocks) < self.max_sack_blocks:
-            for r in self._ooo.ranges():
+            for r in live:
                 if r not in seen:
                     blocks.append(r)
                     seen.add(r)
                     if len(blocks) >= self.max_sack_blocks:
                         break
-        del current
         return tuple(blocks)

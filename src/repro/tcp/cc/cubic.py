@@ -10,7 +10,12 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.tcp.cc.base import CCClock, CongestionControl, register_cc
+from repro.tcp.cc.base import (
+    INFINITE_SSTHRESH,
+    CCClock,
+    CongestionControl,
+    register_cc,
+)
 from repro.units import SEC
 
 
@@ -20,6 +25,9 @@ class CubicCC(CongestionControl):
 
     C = 0.4          # scaling constant (units: MSS / s^3)
     BETA = 0.7       # multiplicative decrease factor
+    # RFC 8312 §4.2 Reno-emulation gain, 3*(1-BETA)/(1+BETA) MSS per
+    # RTT's worth of ACKs (precomputed: it is paid on every ACK).
+    _RENO_GAIN = 3.0 * (1.0 - BETA) / (1.0 + BETA)
 
     def __init__(self, clock: CCClock, initial_cwnd: float = 10.0, fast_convergence: bool = True):
         super().__init__(clock, initial_cwnd)
@@ -49,36 +57,50 @@ class CubicCC(CongestionControl):
     def on_ack(self, acked_packets: int, rtt_ns: Optional[int], in_flight: int, ece: bool = False) -> None:
         if acked_packets <= 0:
             return
-        now = self.clock.now_ns()
-        if self.in_slow_start:
-            grow = min(float(acked_packets), max(self.ssthresh - self.cwnd, 0.0)) \
-                if self.ssthresh != float("inf") else float(acked_packets)
-            self.cwnd += grow
-            acked_packets -= int(grow)
-            if acked_packets <= 0:
+        # The slow-start→avoidance handoff must be exact: an ACK batch
+        # that straddles ssthresh spends part of its credit filling the
+        # gap to ssthresh and hands only the fractional remainder to the
+        # cubic region (truncating here double-spends the fraction).
+        acked = float(acked_packets)
+        cwnd = self.cwnd
+        ssthresh = self.ssthresh
+        if cwnd < ssthresh:  # in_slow_start, property flattened
+            if ssthresh == INFINITE_SSTHRESH:
+                grow = acked
+            else:
+                gap = ssthresh - cwnd
+                grow = min(acked, gap if gap > 0.0 else 0.0)
+            cwnd += grow
+            self.cwnd = cwnd
+            acked -= grow
+            if acked <= 0.0:
                 return
+        now = self.clock.now_ns()
         if self.epoch_start_ns is None:
             self._begin_epoch(now)
-        target = self._cubic_target(now)
+        # _cubic_target inlined (it stays as the reference formula).
+        t = (now - self.epoch_start_ns) / SEC
+        target = self.C * (t - self.k_seconds) ** 3 + self.w_max
+        denom = cwnd if cwnd > 1.0 else 1.0
         # TCP-friendly region: per RFC 8312 §4.2 the Reno estimate grows
-        # 3*(1-BETA)/(1+BETA) MSS per RTT's worth of ACKs.
-        if rtt_ns:
-            self._tcp_cwnd += (
-                3.0 * (1.0 - self.BETA) / (1.0 + self.BETA)
-                * acked_packets / max(self.cwnd, 1.0)
-            )
-        target = max(target, self._tcp_cwnd)
-        if target > self.cwnd:
+        # on every ACK — the update is not contingent on an RTT sample.
+        tcp_cwnd = self._tcp_cwnd + self._RENO_GAIN * acked / denom
+        self._tcp_cwnd = tcp_cwnd
+        if tcp_cwnd > target:
+            target = tcp_cwnd
+        credit = self._avoidance_credit
+        if target > cwnd:
             # Approach the target over roughly one RTT of ACKs.
-            self._avoidance_credit += (target - self.cwnd) * acked_packets / max(self.cwnd, 1.0)
+            credit += (target - cwnd) * acked / denom
         else:
             # Mild growth so the window is not frozen below target
             # (RFC 8312's 1%/RTT "max probing").
-            self._avoidance_credit += 0.01 * acked_packets / max(self.cwnd, 1.0)
-        if self._avoidance_credit >= 1.0:
-            whole = int(self._avoidance_credit)
-            self.cwnd += whole
-            self._avoidance_credit -= whole
+            credit += 0.01 * acked / denom
+        if credit >= 1.0:
+            whole = int(credit)
+            self.cwnd = cwnd + whole
+            credit -= whole
+        self._avoidance_credit = credit
 
     def on_congestion_event(self) -> None:
         now = self.clock.now_ns()

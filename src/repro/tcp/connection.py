@@ -21,7 +21,6 @@ naturally:
 from __future__ import annotations
 
 import bisect
-from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.net.addressing import FlowKey
@@ -105,6 +104,22 @@ class SegmentState:
 
 class PathState:
     """Per-path (per-TDN) protocol state — the unit TDTCP duplicates."""
+
+    __slots__ = (
+        "tdn_id",
+        "cc",
+        "rtt",
+        "ca_state",
+        "high_seq",
+        "cwr_seq",
+        "packets_out",
+        "sacked_out",
+        "lost_out",
+        "retrans_out",
+        "delivery_rate_bps",
+        "last_cwnd_update_ns",
+        "last_retransmit_ns",
+    )
 
     def __init__(self, clock, cc_name: str, config: TCPConfig, tdn_id: int = 0):
         self.tdn_id = tdn_id
@@ -213,7 +228,12 @@ class TCPConnection:
         # Sequence space: ISS 0; SYN consumes seq 1, data starts at 1.
         self.snd_una = 0
         self.snd_nxt = 0
-        self.segments: "OrderedDict[int, SegmentState]" = OrderedDict()
+        # Scoreboard: seq -> SegmentState. Insertion order == sequence
+        # order (snd_nxt is monotonic and only prefix entries are ever
+        # deleted), so the dict doubles as the sorted segment index:
+        # head access is next(iter(...)), and in-order scans break early
+        # once past their sequence range.
+        self.segments: Dict[int, SegmentState] = {}
         self._retx_pending: List[int] = []  # seqs marked lost awaiting retransmit
 
         self.send_buffer = SendBuffer(
@@ -225,6 +245,7 @@ class TCPConnection:
 
         self.recv_buffer = ReceiveBuffer(initial_rcv_nxt=0)
         self.peer_rwnd = 2 ** 40
+        self._rwnd_bytes = self.config.rwnd_packets * self.config.mss
         self.rack = RackState()
 
         self.rto_timer = Timer(sim, self._on_rto, name=f"{self.name}-rto")
@@ -404,10 +425,11 @@ class TCPConnection:
     # Receive path: data
     # ------------------------------------------------------------------
     def _handle_data(self, pkt: TCPSegment) -> None:
+        end_seq = pkt.seq + pkt.payload_len
         fin_advance = 0
-        if pkt.fin and pkt.end_seq == self.recv_buffer.rcv_nxt + pkt.payload_len:
+        if pkt.fin and end_seq == self.recv_buffer.rcv_nxt + pkt.payload_len:
             fin_advance = 1
-        delivered = self.recv_buffer.receive(pkt.seq, pkt.end_seq + fin_advance)
+        delivered = self.recv_buffer.receive(pkt.seq, end_seq + fin_advance)
         if pkt.fin and fin_advance and self.state == ESTABLISHED:
             self.state = CLOSE_WAIT
             if self.on_peer_fin is not None:
@@ -418,24 +440,23 @@ class TCPConnection:
                 # Report clean stream bytes (SYN/FIN sequence slots
                 # excluded) so sequence graphs start at zero.
                 self.on_delivered(self.sim.now, self.stats.bytes_delivered)
-        self._ack_incoming_data(pkt, in_order=delivered > 0)
-
-    def _ack_incoming_data(self, pkt: TCPSegment, in_order: bool) -> None:
-        """Immediate ACK, or RFC 1122 delayed ACK when configured.
-
-        Out-of-order arrivals (and anything needing an ECN/mark echo)
-        are acknowledged immediately — dup-ACK/SACK feedback drives
-        fast retransmit and must not be delayed.
-        """
-        if self.config.delayed_ack_ns <= 0 or not in_order or pkt.ce or pkt.circuit_mark:
-            self._delack_pending = False
-            self.delack_timer.cancel()
-            self._send_ack(echo_of=pkt)
-            return
-        if self._delack_pending:
-            # Second in-order segment: ACK now (ack-every-other).
-            self._delack_pending = False
-            self.delack_timer.cancel()
+        # ACK generation: immediate ACK, or RFC 1122 delayed ACK when
+        # configured. Out-of-order arrivals (and anything needing an
+        # ECN/mark echo) are acknowledged immediately — dup-ACK/SACK
+        # feedback drives fast retransmit and must not be delayed. A
+        # second in-order segment while one ACK is pending also goes out
+        # now (ack-every-other). ``_delack_pending`` implies the delack
+        # timer is armed, so the cancel hides behind the flag.
+        if (
+            self.config.delayed_ack_ns <= 0
+            or delivered <= 0
+            or pkt.ce
+            or pkt.circuit_mark
+            or self._delack_pending
+        ):
+            if self._delack_pending:
+                self._delack_pending = False
+                self.delack_timer.cancel()
             self._send_ack(echo_of=pkt)
         else:
             self._delack_pending = True
@@ -458,8 +479,13 @@ class TCPConnection:
             is_ack=True,
             created_ns=self.sim.now,
         )
-        if self.config.sack_enabled:
-            ack.sack_blocks = clip_sack_blocks(self.recv_buffer.sack_blocks())
+        # sack_blocks() returns () whenever the OOO set is empty — the
+        # common case for a pure in-order ACK — so the call hides behind
+        # a direct look at the RangeSet.
+        if self.config.sack_enabled and self.recv_buffer._ooo._starts:
+            blocks = self.recv_buffer.sack_blocks()
+            if blocks:
+                ack.sack_blocks = clip_sack_blocks(blocks)
         ack.rwnd = self._advertised_window()
         ack.ack_tdn = self.wire_tdn
         if echo_of is not None:
@@ -482,11 +508,16 @@ class TCPConnection:
     def _send_packet(self, pkt: TCPSegment) -> None:
         """Hook: the last step before the wire. MPTCP subflows gate
         pure ACKs here when their TDN is inactive."""
+        # Deliberately NOT inlined past host.send: tests and pacing
+        # shims replace ``host.send`` per instance.
         self.host.send(pkt)
 
     def _advertised_window(self) -> int:
-        window = self.config.rwnd_packets * self.config.mss - self.recv_buffer.ooo_bytes
-        return max(window, self.config.mss)
+        # RangeSet maintains its coverage incrementally; reading the
+        # field skips the ooo_bytes/coverage() frames on every send.
+        window = self._rwnd_bytes - self.recv_buffer._ooo._cov
+        mss = self.config.mss
+        return window if window > mss else mss
 
     # ------------------------------------------------------------------
     # Receive path: ACK processing (sender side)
@@ -494,7 +525,11 @@ class TCPConnection:
     def _handle_ack(self, pkt: TCPSegment) -> None:
         # 'All TDNs' semantic: an ACK is only expected if data is
         # outstanding on *any* TDN.
-        if self.total_packets_out() == 0:
+        paths = self.paths
+        outstanding = 0
+        for p in paths:
+            outstanding += p.packets_out
+        if outstanding == 0:
             self.peer_rwnd = pkt.rwnd
             return
         if pkt.ack > self.snd_nxt:
@@ -502,35 +537,57 @@ class TCPConnection:
         self.peer_rwnd = pkt.rwnd
 
         newly_acked = self._collect_cum_acked(pkt.ack)
-        newly_sacked = self._apply_sack(pkt)
+        newly_sacked = self._apply_sack(pkt) if pkt.sack_blocks else []
         if pkt.ack > self.snd_una:
             self.snd_una = pkt.ack
             self._rto_backoff = 0
 
-        self._take_rtt_samples(newly_acked, newly_sacked, pkt)
-        self._update_rack(newly_acked, newly_sacked)
+        # One pass over the newly acknowledged segments does the work of
+        # three: the RTT sample election (_take_rtt_samples), the RACK
+        # delivery bookkeeping (_update_rack), and the per-path ACK
+        # credit tally. The standalone methods stay as the reference
+        # semantics; the RTT estimator and RACK state are disjoint, so
+        # interleaving their updates cannot change either outcome.
+        npaths = len(paths)
+        stats = self.stats
+        update_on_delivered = self.rack.update_on_delivered
+        sample_seg: Optional[SegmentState] = None
+        acked_by_path: Dict[int, int] = {}
+        for seg in newly_acked:
+            if not (seg.is_syn or seg.is_fin):
+                index = seg.tdn_id if seg.tdn_id < npaths else 0
+                acked_by_path[index] = acked_by_path.get(index, 0) + 1
+                stats.bytes_acked += seg.payload_len
+            if seg.retx_count == 0:
+                update_on_delivered(seg.sent_ns, seg.end_seq)
+                if not seg.sacked and self._rtt_sample_allowed(seg, pkt):
+                    if sample_seg is None or seg.end_seq > sample_seg.end_seq:
+                        sample_seg = seg
+        for seg in newly_sacked:
+            if seg.retx_count == 0:
+                update_on_delivered(seg.sent_ns, seg.end_seq)
+                if self._rtt_sample_allowed(seg, pkt):
+                    if sample_seg is None or seg.end_seq > sample_seg.end_seq:
+                        sample_seg = seg
+        if sample_seg is not None:
+            self.path_of(sample_seg).rtt.update(self.sim.now - sample_seg.sent_ns)
+
         self._detect_losses(pkt)
 
         # Credit congestion controllers per path ('specific TDN').
-        acked_by_path: Dict[int, int] = {}
-        for seg in newly_acked:
-            if seg.is_syn or seg.is_fin:
-                continue
-            index = seg.tdn_id if seg.tdn_id < len(self.paths) else 0
-            acked_by_path[index] = acked_by_path.get(index, 0) + 1
-            self.stats.bytes_acked += seg.payload_len
+        now = self.sim.now
         for index, count in acked_by_path.items():
             if not self._cc_credit_allowed(index, pkt):
                 continue
-            path = self.paths[index]
+            path = paths[index]
             path.cc.on_ack(count, path.rtt.latest_rtt_ns, path.in_flight, ece=pkt.ece)
             # Kernel-style delivery rate: delivered over the ACK
             # inter-arrival interval, not over an RTT (many ACKs land
             # per RTT). First sample falls back to the RTT.
             previous_ns = path.last_cwnd_update_ns
-            path.last_cwnd_update_ns = self.sim.now
+            path.last_cwnd_update_ns = now
             interval_ns = (
-                self.sim.now - previous_ns
+                now - previous_ns
                 if previous_ns is not None
                 else path.rtt.latest_rtt_ns
             )
@@ -542,22 +599,37 @@ class TCPConnection:
         if pkt.ece:
             self._react_to_ecn()
 
-        for path in self.paths:
-            if path.maybe_exit_recovery(self.snd_una):
-                if self._tp_ca.enabled:
-                    self._tp_ca.emit(
-                        self.sim.now,
-                        conn=self.name,
-                        tdn=path.tdn_id,
-                        state=path.ca_state.value,
-                        reason="recovery-exit",
-                    )
-                if self._tp_cwnd.enabled:
-                    self._emit_cwnd(path, reason="recovery-exit")
+        snd_una = self.snd_una
+        for path in paths:
+            # Inline gate for the common OPEN/DISORDER case; the method
+            # re-checks the same condition before transitioning.
+            ca = path.ca_state
+            if (ca is CaState.RECOVERY or ca is CaState.LOSS) and snd_una >= path.high_seq:
+                if path.maybe_exit_recovery(snd_una):
+                    if self._tp_ca.enabled:
+                        self._tp_ca.emit(
+                            self.sim.now,
+                            conn=self.name,
+                            tdn=path.tdn_id,
+                            state=path.ca_state.value,
+                            reason="recovery-exit",
+                        )
+                    if self._tp_cwnd.enabled:
+                        self._emit_cwnd(path, reason="recovery-exit")
 
-        self._cancel_timers_if_idle()
-        if self.total_packets_out() > 0 and newly_acked:
-            self._restart_rto()
+        outstanding = 0
+        for p in paths:
+            outstanding += p.packets_out
+        if outstanding == 0:
+            self.rto_timer.cancel()
+            self.reorder_timer.cancel()
+            self.tlp_timer.cancel()
+        elif newly_acked:
+            # _restart_rto inlined (it stays as the reference for the
+            # timer/transmit paths): this runs on nearly every ACK.
+            backed_off = self._rto_ns() << min(self._rto_backoff, 8)
+            max_rto = self.config.max_rto_ns
+            self.rto_timer.start(backed_off if backed_off < max_rto else max_rto)
         if self.fin_sent and self.snd_una == self.snd_nxt:
             self.state = CLOSED
             return
@@ -567,27 +639,49 @@ class TCPConnection:
     def _collect_cum_acked(self, ack: int) -> List[SegmentState]:
         """Remove and return segments fully covered by the cumulative ACK."""
         acked: List[SegmentState] = []
-        for seq in list(self.segments.keys()):
-            seg = self.segments[seq]
-            if seg.end_seq <= ack:
-                acked.append(seg)
-                del self.segments[seq]
-                self._unaccount_acked_segment(seg)
-            else:
-                break  # OrderedDict is in seq order
+        segments = self.segments
+        for seg in segments.values():  # dict is in ascending seq order
+            if seg.end_seq > ack:
+                break
+            acked.append(seg)
         if acked:
-            self._retx_pending = [s for s in self._retx_pending if s not in {a.seq for a in acked}]
+            paths = self.paths
+            npaths = len(paths)
+            for seg in acked:
+                del segments[seg.seq]
+                # _unaccount_acked_segment inlined (the method remains
+                # for the handshake path): runs for every segment a
+                # cumulative ACK retires.
+                path = paths[seg.tdn_id] if seg.tdn_id < npaths else paths[0]
+                count = path.packets_out
+                path.packets_out = count - 1 if count > 0 else 0
+                if seg.sacked:
+                    count = path.sacked_out
+                    path.sacked_out = count - 1 if count > 0 else 0
+                if seg.lost:
+                    count = path.lost_out
+                    path.lost_out = count - 1 if count > 0 else 0
+                if seg.retrans_outstanding:
+                    count = path.retrans_out
+                    path.retrans_out = count - 1 if count > 0 else 0
+            if self._retx_pending:
+                acked_seqs = {a.seq for a in acked}
+                self._retx_pending = [s for s in self._retx_pending if s not in acked_seqs]
         return acked
 
     def _unaccount_acked_segment(self, seg: SegmentState) -> None:
         path = self.path_of(seg)
-        path.packets_out = max(path.packets_out - 1, 0)
+        count = path.packets_out
+        path.packets_out = count - 1 if count > 0 else 0
         if seg.sacked:
-            path.sacked_out = max(path.sacked_out - 1, 0)
+            count = path.sacked_out
+            path.sacked_out = count - 1 if count > 0 else 0
         if seg.lost:
-            path.lost_out = max(path.lost_out - 1, 0)
+            count = path.lost_out
+            path.lost_out = count - 1 if count > 0 else 0
         if seg.retrans_outstanding:
-            path.retrans_out = max(path.retrans_out - 1, 0)
+            count = path.retrans_out
+            path.retrans_out = count - 1 if count > 0 else 0
 
     def _apply_sack(self, pkt: TCPSegment) -> List[SegmentState]:
         if not pkt.sack_blocks:
@@ -596,7 +690,9 @@ class TCPConnection:
         for block_start, block_end in pkt.sack_blocks:
             if block_end <= self.snd_una:
                 continue
-            for seq, seg in self.segments.items():
+            for seg in self.segments.values():
+                if seg.seq >= block_end:
+                    break  # dict is in seq order; rest is past the block
                 if seg.sacked:
                     continue
                 if seg.seq >= block_start and seg.end_seq <= block_end:
@@ -690,14 +786,20 @@ class TCPConnection:
     # Loss detection
     # ------------------------------------------------------------------
     def _detect_losses(self, pkt: TCPSegment) -> None:
-        trigger = LossTrigger("dupsack", pkt.ack_tdn)
         newly_lost: List[SegmentState] = []
 
         # SACK dup-threshold rule: a segment is a loss candidate when
         # >= dupthresh SACKed segments sit above it. The per-TDN counts
         # let TDTCP demand *same-TDN* evidence (§3.4): deliveries on a
         # different TDN say nothing about a slower TDN's in-flight data.
-        if self.config.sack_enabled:
+        # When no segment is SACKed on any path, every count is zero and
+        # no dup rule (base or per-TDN) can fire, so the scan is skipped.
+        sacked_any = False
+        for p in self.paths:
+            if p.sacked_out:
+                sacked_any = True
+                break
+        if self.config.sack_enabled and sacked_any:
             sacked_above_total = 0
             sacked_above_by_tdn: Dict[int, int] = {}
             hole_candidates: List[SegmentState] = []
@@ -710,41 +812,76 @@ class TCPConnection:
                         hole_candidates.append(seg)
             if hole_candidates:
                 self._note_reordering_event(hole_candidates)
-            for seg in hole_candidates:
-                if self._should_mark_lost(seg, trigger):
-                    self._mark_lost(seg, reason="dupsack")
-                    newly_lost.append(seg)
+                trigger = LossTrigger("dupsack", pkt.ack_tdn)
+                for seg in hole_candidates:
+                    if self._should_mark_lost(seg, trigger):
+                        self._mark_lost(seg, reason="dupsack")
+                        newly_lost.append(seg)
 
-        # RACK: time-based marking.
-        if self.config.rack_enabled:
-            rack_trigger = LossTrigger("rack", pkt.ack_tdn)
-            candidates = [
-                seg for seg in self.segments.values()
-                if not seg.sacked and not seg.lost and not seg.retrans_outstanding
-            ]
-            lost, next_deadline = self.rack.detect(candidates, self._rack_reo_wnd)
-            for seg in lost:
-                if self._should_mark_lost(seg, rack_trigger):
-                    self._mark_lost(seg, reason="rack")
-                    newly_lost.append(seg)
-            if next_deadline is not None and self.rack.xmit_ns is not None:
-                delay = max(next_deadline - self.rack.xmit_ns, 1)
-                self.reorder_timer.start(delay)
+        # RACK: time-based marking. Before the first delivery
+        # (xmit_ns is None) detect() has nothing to compare against, so
+        # the candidate collection is skipped entirely. Both candidate
+        # sets are gathered in one pass: marking a non-retransmitted
+        # candidate lost cannot change the retransmission watch set
+        # (candidates exclude retrans_outstanding segments), so the
+        # pre-collected lists match what two sequential scans would see.
+        if self.config.rack_enabled and self.rack.xmit_ns is not None:
+            xmit_ns = self.rack.xmit_ns
+            candidates: List[SegmentState] = []
+            retx_candidates: List[SegmentState] = []
+            retrans_any = False
+            for p in self.paths:
+                if p.retrans_out:
+                    retrans_any = True
+                    break
+            if retrans_any:
+                # Retransmissions in flight: scan everything so the
+                # retransmission watch sees segments anywhere in the
+                # sequence space (retransmit times are not seq-ordered).
+                for seg in self.segments.values():
+                    if seg.sacked:
+                        continue
+                    if seg.retrans_outstanding:
+                        retx_candidates.append(seg)
+                    elif not seg.lost:
+                        candidates.append(seg)
+            else:
+                # No retransmissions outstanding: first-send times are
+                # strictly monotone in sequence, and retransmission only
+                # ever re-stamps sent_ns later. So once a never-
+                # retransmitted segment is past the RACK reference
+                # point, every later segment is too — all ineligible
+                # (detect() would skip them) and the scan can stop.
+                for seg in self.segments.values():
+                    if seg.sent_ns > xmit_ns:
+                        if seg.retx_count == 0:
+                            break
+                        continue
+                    if not seg.sacked and not seg.lost:
+                        candidates.append(seg)
+            if candidates:
+                lost, next_deadline = self.rack.detect(candidates, self._rack_reo_wnd)
+                if lost:
+                    rack_trigger = LossTrigger("rack", pkt.ack_tdn)
+                    for seg in lost:
+                        if self._should_mark_lost(seg, rack_trigger):
+                            self._mark_lost(seg, reason="rack")
+                            newly_lost.append(seg)
+                if next_deadline is not None:
+                    delay = max(next_deadline - xmit_ns, 1)
+                    self.reorder_timer.start(delay)
 
             # Lost retransmissions: RACK also watches outstanding
             # retransmissions (their sent_ns was updated when re-sent);
             # when a retransmission is itself overdue, requeue it.
-            retx_candidates = [
-                seg for seg in self.segments.values()
-                if seg.retrans_outstanding and not seg.sacked
-            ]
-            retx_lost, _ = self.rack.detect(retx_candidates, self._rack_reo_wnd)
-            for seg in retx_lost:
-                seg.retrans_outstanding = False
-                path = self.path_of(seg)
-                path.retrans_out = max(path.retrans_out - 1, 0)
-                if seg.seq not in self._retx_pending:
-                    self._insert_retx_pending(seg.seq)
+            if retx_candidates:
+                retx_lost, _ = self.rack.detect(retx_candidates, self._rack_reo_wnd)
+                for seg in retx_lost:
+                    seg.retrans_outstanding = False
+                    path = self.path_of(seg)
+                    path.retrans_out = max(path.retrans_out - 1, 0)
+                    if seg.seq not in self._retx_pending:
+                        self._insert_retx_pending(seg.seq)
 
         if newly_lost:
             self._enter_recovery_for(newly_lost)
@@ -915,16 +1052,6 @@ class TCPConnection:
         elif next_deadline is not None:
             self.reorder_timer.start(max(next_deadline - self.sim.now, 1))
 
-    def _arm_tlp(self) -> None:
-        if not self.config.tlp_enabled:
-            return
-        srtt = self.current_path.rtt.srtt_ns
-        if srtt is None:
-            pto = self.config.initial_rto_ns
-        else:
-            pto = int(self.config.tlp_srtt_multiplier * srtt)
-        self.tlp_timer.start(max(pto, 1))
-
     def _on_tlp_timer(self) -> None:
         if self.total_packets_out() == 0:
             return
@@ -948,18 +1075,21 @@ class TCPConnection:
             return
         while self._try_send_one():
             pass
-        self._check_fin_progress()
+        if self.fin_pending and not self.fin_sent:
+            self._check_fin_progress()
 
     def _try_send_one(self) -> bool:
         """One send-loop step: a retransmission if any is due, else one
         new segment. Returns False when cwnd/window/app-limited."""
-        path = self.current_path
-        if path.in_flight >= int(path.cc.cwnd):
+        path = self.paths[self.current_path_index]
+        in_flight = path.packets_out - path.sacked_out - path.lost_out + path.retrans_out
+        if in_flight >= int(path.cc.cwnd):
             return False
-        seg = self._next_retransmit_candidate()
-        if seg is not None:
-            self._retransmit(seg)
-            return True
+        if self._retx_pending:
+            seg = self._next_retransmit_candidate()
+            if seg is not None:
+                self._retransmit(seg)
+                return True
         return self._send_new_segment()
 
     def _next_retransmit_candidate(self) -> Optional[SegmentState]:
@@ -974,10 +1104,18 @@ class TCPConnection:
         return None
 
     def _send_new_segment(self) -> bool:
-        available = self.send_buffer.available_beyond(self.snd_nxt - self._stream_base)
-        if available <= 0:
-            return False
-        if not self.send_buffer.within_capacity(self.snd_una, self.snd_nxt):
+        # SendBuffer.available_beyond / within_capacity inlined: this is
+        # the tail of every _try_send_one step, including the one that
+        # returns False and ends the send loop.
+        buf = self.send_buffer
+        if buf.unlimited:
+            available = 2 ** 62
+        else:
+            available = buf.written - (self.snd_nxt - self._stream_base)
+            if available <= 0:
+                return False
+        capacity = buf.capacity_bytes
+        if capacity is not None and (self.snd_nxt - self.snd_una) >= capacity:
             return False
         if self.snd_nxt - self.snd_una + self.config.mss > self.peer_rwnd:
             return False
@@ -998,6 +1136,7 @@ class TCPConnection:
         return True
 
     def _transmit(self, seg: SegmentState, ack_flag: bool = True, probe: bool = False) -> None:
+        now = self.sim.now
         pkt = TCPSegment(
             src=self.host.address,
             dst=self.remote_addr,
@@ -1009,32 +1148,43 @@ class TCPConnection:
             is_ack=ack_flag and not (seg.is_syn and self.state == SYN_SENT),
             syn=seg.is_syn,
             fin=seg.is_fin,
-            created_ns=self.sim.now,
+            created_ns=now,
         )
         pkt.ecn_capable = self.config.ecn_enabled
         pkt.rwnd = self._advertised_window()
-        pkt.sent_ns = self.sim.now
+        pkt.sent_ns = now
         pkt.retransmission = seg.retx_count > 0
         if seg.is_syn:
             pkt.td_capable_tdns = self.td_capable_tdns
-        pkt.data_tdn = self.wire_tdn
-        pkt.ack_tdn = self.wire_tdn
+        wire = self.wire_tdn
+        pkt.data_tdn = wire
+        pkt.ack_tdn = wire
         self._decorate_data(pkt, seg)
         pkt.add_option_sizes()
 
         first_time = seg.first_sent_ns == 0 and seg.retx_count == 0 and not seg.transmissions
         if first_time:
-            seg.first_sent_ns = self.sim.now
-            self.path_of(seg).packets_out += 1
+            seg.first_sent_ns = now
+            paths = self.paths
+            path = paths[seg.tdn_id] if seg.tdn_id < len(paths) else paths[0]
+            path.packets_out += 1
             self.stats.segments_sent += 1
-        seg.sent_ns = self.sim.now
+        seg.sent_ns = now
         seg.transmissions.append(pkt)
         self._send_packet(pkt)
 
-        if not self.rto_timer.armed:
+        # Timer arming, with the Timer.armed property and the _arm_tlp
+        # frame flattened out — this tail runs for every transmitted
+        # data segment.
+        if self.rto_timer._deadline is None:
             self._restart_rto()
-        if not probe:
-            self._arm_tlp()
+        if not probe and self.config.tlp_enabled:
+            srtt = self.paths[self.current_path_index].rtt.srtt_ns
+            if srtt is None:
+                pto = self.config.initial_rto_ns
+            else:
+                pto = int(self.config.tlp_srtt_multiplier * srtt)
+            self.tlp_timer.start(pto if pto > 1 else 1)
 
     def _retransmit(self, seg: SegmentState, probe: bool = False) -> None:
         # Retransmissions go out on the *current* TDN ('any TDN'

@@ -2,13 +2,19 @@
 
 Shared by the receiver's reassembly buffer and the sender's SACK
 scoreboard. Ranges are half-open ``[start, end)``; adjacent and
-overlapping ranges merge. The structure stays small (a TCP window's
-worth of holes), so a sorted list with linear merge is both simple and
-fast enough.
+overlapping ranges merge.
+
+The set is stored as two parallel sorted lists (``_starts``/``_ends``)
+so point and cover queries are a single ``bisect`` (O(log n)) and
+``add`` splices the merged neighbourhood in place instead of rebuilding
+and re-sorting the whole list. Because ranges are disjoint and sorted,
+both lists are individually sorted, which is what makes the bisect
+queries valid.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import Iterable, Iterator, List, Tuple
 
 Range = Tuple[int, int]
@@ -17,27 +23,31 @@ Range = Tuple[int, int]
 class RangeSet:
     """A set of disjoint, sorted, half-open integer ranges."""
 
+    __slots__ = ("_starts", "_ends", "_cov")
+
     def __init__(self, ranges: Iterable[Range] = ()):
-        self._ranges: List[Range] = []
+        self._starts: List[int] = []
+        self._ends: List[int] = []
+        self._cov = 0  # total covered integers, maintained incrementally
         for start, end in ranges:
             self.add(start, end)
 
     def __len__(self) -> int:
-        return len(self._ranges)
+        return len(self._starts)
 
     def __iter__(self) -> Iterator[Range]:
-        return iter(self._ranges)
+        return iter(zip(self._starts, self._ends))
 
     def __bool__(self) -> bool:
-        return bool(self._ranges)
+        return bool(self._starts)
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, RangeSet):
-            return self._ranges == other._ranges
+            return self._starts == other._starts and self._ends == other._ends
         return NotImplemented
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"RangeSet({self._ranges})"
+        return f"RangeSet({list(zip(self._starts, self._ends))})"
 
     def add(self, start: int, end: int) -> Range:
         """Insert ``[start, end)``; returns the merged range it became.
@@ -48,79 +58,87 @@ class RangeSet:
             raise ValueError(f"invalid range [{start}, {end})")
         if start == end:
             return (start, end)
-        merged_start, merged_end = start, end
-        out: List[Range] = []
-        inserted = False
-        for r_start, r_end in self._ranges:
-            if r_end < merged_start or r_start > merged_end:
-                # Disjoint and not even adjacent.
-                if r_start > merged_end and not inserted:
-                    out.append((merged_start, merged_end))
-                    inserted = True
-                out.append((r_start, r_end))
-            else:
-                merged_start = min(merged_start, r_start)
-                merged_end = max(merged_end, r_end)
-        if not inserted:
-            out.append((merged_start, merged_end))
-        out.sort()
-        self._ranges = out
-        return (merged_start, merged_end)
+        starts = self._starts
+        ends = self._ends
+        # Ranges overlapping or adjacent to [start, end): those with
+        # r_end >= start and r_start <= end.
+        lo = bisect_left(ends, start)
+        hi = bisect_right(starts, end)
+        if lo < hi:
+            merged_start = starts[lo]
+            if start < merged_start:
+                merged_start = start
+            merged_end = ends[hi - 1]
+            if end > merged_end:
+                merged_end = end
+            absorbed = 0
+            for i in range(lo, hi):
+                absorbed += ends[i] - starts[i]
+            self._cov += (merged_end - merged_start) - absorbed
+            starts[lo:hi] = (merged_start,)
+            ends[lo:hi] = (merged_end,)
+            return (merged_start, merged_end)
+        starts.insert(lo, start)
+        ends.insert(lo, end)
+        self._cov += end - start
+        return (start, end)
 
     def remove_below(self, threshold: int) -> None:
         """Drop all coverage strictly below ``threshold``."""
-        out: List[Range] = []
-        for start, end in self._ranges:
-            if end <= threshold:
-                continue
-            out.append((max(start, threshold), end))
-        self._ranges = out
+        starts = self._starts
+        ends = self._ends
+        idx = bisect_right(ends, threshold)
+        if idx:
+            removed = 0
+            for i in range(idx):
+                removed += ends[i] - starts[i]
+            self._cov -= removed
+            del starts[:idx]
+            del ends[:idx]
+        if starts and starts[0] < threshold:
+            self._cov -= threshold - starts[0]
+            starts[0] = threshold
 
     def contains_point(self, value: int) -> bool:
-        for start, end in self._ranges:
-            if start <= value < end:
-                return True
-            if start > value:
-                break
-        return False
+        i = bisect_right(self._starts, value) - 1
+        return i >= 0 and value < self._ends[i]
 
     def covers(self, start: int, end: int) -> bool:
         """True when ``[start, end)`` is entirely covered by one range."""
         if start >= end:
             return True
-        for r_start, r_end in self._ranges:
-            if r_start <= start and end <= r_end:
-                return True
-            if r_start > start:
-                break
-        return False
+        i = bisect_right(self._starts, start) - 1
+        return i >= 0 and end <= self._ends[i]
 
     def first_range_at_or_after(self, value: int) -> Range:
         """First range whose end is above ``value``; raises if none."""
-        for start, end in self._ranges:
-            if end > value:
-                return (start, end)
+        i = bisect_right(self._ends, value)
+        if i < len(self._ends):
+            return (self._starts[i], self._ends[i])
         raise LookupError(f"no range at or after {value}")
 
     def coverage(self) -> int:
-        """Total number of integers covered."""
-        return sum(end - start for start, end in self._ranges)
+        """Total number of integers covered (maintained, not summed)."""
+        return self._cov
 
     def ranges(self) -> List[Range]:
-        return list(self._ranges)
+        return list(zip(self._starts, self._ends))
 
     def gaps_between(self, start: int, end: int) -> List[Range]:
         """Uncovered sub-ranges of ``[start, end)``."""
+        starts = self._starts
+        ends = self._ends
         gaps: List[Range] = []
         cursor = start
-        for r_start, r_end in self._ranges:
-            if r_end <= cursor:
-                continue
+        for i in range(bisect_right(ends, start), len(starts)):
+            r_start = starts[i]
             if r_start >= end:
                 break
             if r_start > cursor:
-                gaps.append((cursor, min(r_start, end)))
-            cursor = max(cursor, r_end)
+                gaps.append((cursor, r_start if r_start < end else end))
+            r_end = ends[i]
+            if r_end > cursor:
+                cursor = r_end
             if cursor >= end:
                 break
         if cursor < end:

@@ -80,6 +80,22 @@ class TestEventQueue:
         q.pop()
         assert len(q) == 1
 
+    def test_clear_cancels_held_events(self):
+        # Regression: clear() used to leave held events with
+        # cancelled=False, so a later event.cancel() on a
+        # cleared-then-refilled queue decremented _live of the wrong
+        # queue generation.
+        q = EventQueue()
+        stale = q.push(10, lambda: None)
+        q.clear()
+        assert len(q) == 0
+        fresh = q.push(20, lambda: None)
+        stale.cancel()  # must be a no-op against the new generation
+        assert stale.cancelled
+        assert len(q) == 1
+        assert q.pop() is fresh
+        assert len(q) == 0
+
 
 class TestSimulator:
     def test_clock_advances_to_event_time(self):

@@ -124,6 +124,28 @@ class TestCubic:
         assert cc.cwnd == 1
         assert cc.epoch_start_ns is None
 
+    def test_handoff_preserves_fractional_credit(self):
+        # Regression: crossing ssthresh used to truncate the slow-start
+        # growth to an integer (``acked_packets -= int(grow)``), so the
+        # fractional MSS spent reaching ssthresh was spent again in the
+        # cubic region. The handoff must be exact: 0.5 MSS fills the gap,
+        # exactly 1.5 ACKs of credit reach the avoidance math.
+        cc = CubicCC(FakeClock(), initial_cwnd=10)
+        cc.ssthresh = 10.5
+        cc.on_ack(2, usec(100), 10)
+        friendly_gain = 3.0 * (1.0 - cc.BETA) / (1.0 + cc.BETA)
+        assert cc._tcp_cwnd == pytest.approx(10.5 + friendly_gain * 1.5 / 10.5)
+
+    def test_tcp_friendly_update_without_rtt_sample(self):
+        # RFC 8312 §4.2 grows the Reno-emulation estimate on every ACK;
+        # it used to be skipped whenever rtt_ns was falsy, letting the
+        # cubic region detach from the TCP-friendly floor before the
+        # first RTT sample landed.
+        cc = CubicCC(FakeClock(), initial_cwnd=100)
+        cc.on_congestion_event()  # exit slow start at cwnd == ssthresh
+        cc.on_ack(10, None, 50)
+        assert cc._tcp_cwnd > cc.ssthresh
+
     def test_snapshot_fields(self):
         cc = CubicCC(FakeClock(), initial_cwnd=10)
         snap = cc.snapshot()

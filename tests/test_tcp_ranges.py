@@ -150,3 +150,143 @@ class TestRangeSetProperties:
             gap_points.update(range(g_start, g_end))
         assert covered | gap_points == set(range(start, end))
         assert covered & gap_points == set()
+
+
+class _LinearRangeSet:
+    """The pre-bisect RangeSet (sorted list, linear merge), embedded
+    verbatim as the differential-testing oracle. Kept deliberately
+    independent of :mod:`repro.tcp.ranges` so a bug in the bisect
+    version cannot hide in a shared helper."""
+
+    def __init__(self, ranges=()):
+        self._ranges = []
+        for start, end in ranges:
+            self.add(start, end)
+
+    def add(self, start, end):
+        if start > end:
+            raise ValueError(f"invalid range [{start}, {end})")
+        if start == end:
+            return (start, end)
+        merged_start, merged_end = start, end
+        out = []
+        inserted = False
+        for r_start, r_end in self._ranges:
+            if r_end < merged_start or r_start > merged_end:
+                if r_start > merged_end and not inserted:
+                    out.append((merged_start, merged_end))
+                    inserted = True
+                out.append((r_start, r_end))
+            else:
+                merged_start = min(merged_start, r_start)
+                merged_end = max(merged_end, r_end)
+        if not inserted:
+            out.append((merged_start, merged_end))
+        out.sort()
+        self._ranges = out
+        return (merged_start, merged_end)
+
+    def remove_below(self, threshold):
+        out = []
+        for start, end in self._ranges:
+            if end <= threshold:
+                continue
+            out.append((max(start, threshold), end))
+        self._ranges = out
+
+    def contains_point(self, value):
+        for start, end in self._ranges:
+            if start <= value < end:
+                return True
+            if start > value:
+                break
+        return False
+
+    def covers(self, start, end):
+        if start >= end:
+            return True
+        for r_start, r_end in self._ranges:
+            if r_start <= start and end <= r_end:
+                return True
+            if r_start > start:
+                break
+        return False
+
+    def first_range_at_or_after(self, value):
+        for start, end in self._ranges:
+            if end > value:
+                return (start, end)
+        raise LookupError(f"no range at or after {value}")
+
+    def coverage(self):
+        return sum(end - start for start, end in self._ranges)
+
+    def ranges(self):
+        return list(self._ranges)
+
+    def gaps_between(self, start, end):
+        gaps = []
+        cursor = start
+        for r_start, r_end in self._ranges:
+            if r_end <= cursor:
+                continue
+            if r_start >= end:
+                break
+            if r_start > cursor:
+                gaps.append((cursor, min(r_start, end)))
+            cursor = max(cursor, r_end)
+            if cursor >= end:
+                break
+        if cursor < end:
+            gaps.append((cursor, end))
+        return gaps
+
+
+class TestRangeSetDifferential:
+    """Seeded randomized differential test: the bisect RangeSet must
+    agree with the old linear implementation on every operation of a
+    10k-op random program (the tentpole swapped the implementation;
+    this pins the behaviour)."""
+
+    SPAN = 4000  # small coordinate space forces heavy merging
+
+    @pytest.mark.parametrize("seed", [1, 7, 20260806])
+    def test_10k_random_ops(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        fast = RangeSet()
+        slow = _LinearRangeSet()
+        span = self.SPAN
+        for op_index in range(10_000):
+            roll = rng.random()
+            if roll < 0.55:
+                a = rng.randrange(span)
+                b = a + rng.randrange(0, 60)
+                assert fast.add(a, b) == slow.add(a, b)
+            elif roll < 0.65:
+                t = rng.randrange(span)
+                fast.remove_below(t)
+                slow.remove_below(t)
+            elif roll < 0.80:
+                a = rng.randrange(span)
+                b = a + rng.randrange(0, 80)
+                assert fast.covers(a, b) == slow.covers(a, b)
+                assert fast.contains_point(a) == slow.contains_point(a)
+            elif roll < 0.92:
+                a = rng.randrange(span)
+                b = a + rng.randrange(0, 200)
+                assert fast.gaps_between(a, b) == slow.gaps_between(a, b)
+            else:
+                v = rng.randrange(span)
+                try:
+                    expected = slow.first_range_at_or_after(v)
+                except LookupError:
+                    with pytest.raises(LookupError):
+                        fast.first_range_at_or_after(v)
+                else:
+                    assert fast.first_range_at_or_after(v) == expected
+            # Full-state agreement after every mutation is what makes a
+            # divergence bisectable to the op that introduced it.
+            assert fast.ranges() == slow.ranges(), f"divergence at op {op_index}"
+            assert fast.coverage() == slow.coverage(), f"coverage drift at op {op_index}"
