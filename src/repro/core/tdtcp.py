@@ -20,7 +20,7 @@ from repro.core.reordering import suspect_cross_tdn_reordering
 from repro.core.rtt import pessimistic_rto_ns
 from repro.core.tdn_state import PerTDNState
 from repro.net.node import Host
-from repro.net.packet import TCPSegment, TDNNotification
+from repro.net.packet import MAX_TDN_ID, TCPSegment, TDNNotification
 from repro.obs.telemetry import Telemetry
 from repro.sim.simulator import Simulator
 from repro.sim.timers import Timer
@@ -75,6 +75,11 @@ class TDTCPConnection(TCPConnection):
         self.paths = self.tdn_state.paths
         self.current_path_index = self.tdn_state.current_index
         self.notifications_seen = 0
+        # §3.2 degraded-signal tolerance: stale/duplicate/garbage
+        # notifications are counted and ignored, never applied or raised.
+        self.stale_notifications = 0
+        self._last_notify_seq: Optional[int] = None
+        self._tp_stale = Telemetry.of(sim).tracepoint("notifier:stale")
         # §5.2: "techniques such as sender pacing can help prevent the
         # potential switch buffer overflow" — the resumed window of a
         # freshly activated TDN is paced over ~one RTT instead of being
@@ -131,7 +136,29 @@ class TDTCPConnection(TCPConnection):
         self.notifications_seen += 1
         if self.downgraded:
             return
-        self.set_current_tdn(notification.tdn_id)
+        seq = notification.notify_seq
+        if seq is not None:
+            last = self._last_notify_seq
+            if last is not None and seq <= last:
+                self._count_stale(notification, "stale_seq")
+                return
+            self._last_notify_seq = seq
+        tdn_id = notification.tdn_id
+        if tdn_id < 0 or tdn_id > MAX_TDN_ID:
+            self._count_stale(notification, "unknown_tdn")
+            return
+        self.set_current_tdn(tdn_id)
+
+    def _count_stale(self, notification: TDNNotification, reason: str) -> None:
+        self.stale_notifications += 1
+        if self._tp_stale.enabled:
+            self._tp_stale.emit(
+                self.sim.now,
+                where="connection",
+                name=self.name,
+                tdn=notification.tdn_id,
+                reason=reason,
+            )
 
     def set_current_tdn(self, tdn_id: int) -> None:
         """Swap in the state set for ``tdn_id`` (no-op if unchanged)."""

@@ -6,13 +6,17 @@ Usage::
     python -m repro.experiments.cli fig10 --csv out/
     python -m repro.experiments.cli fig7 --trace-out out/ --metrics-out out/ --profile
     python -m repro.experiments.cli sweep-ratio
+    python -m repro.experiments.cli chaos --fault-plan examples/fault_plans/day_one_storm.json --audit fail
     python -m repro.experiments.cli list
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
+import pathlib
 import sys
+import tempfile
 from typing import Callable, Dict, List, Optional
 
 from repro.experiments import figures
@@ -45,7 +49,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro.experiments.cli",
         description="Regenerate the TDTCP paper's figures on the simulator.",
     )
-    parser.add_argument("target", help="figure id (fig2..fig14-100g), 'sweep-ratio', 'sweep-day', or 'list'")
+    parser.add_argument("target", help="figure id (fig2..fig14-100g), 'chaos', 'sweep-ratio', 'sweep-day', or 'list'")
     parser.add_argument("--weeks", type=int, default=24, help="optical weeks to simulate")
     parser.add_argument("--warmup", type=int, default=8, help="warm-up weeks excluded from averages")
     parser.add_argument("--flows", type=int, default=8, help="parallel cross-rack flows")
@@ -66,6 +70,34 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--tracepoints", metavar="GLOB", default="*",
         help="glob over tracepoint names to record (default: all, e.g. 'tcp:*')",
+    )
+    parser.add_argument(
+        "--fault-plan", metavar="JSON", default=None,
+        help="fault-plan JSON file (repro.faults) armed on the testbed before the run",
+    )
+    parser.add_argument(
+        "--audit", choices=("warn", "fail"), default=None,
+        help="run the invariant auditor: 'warn' records violations, 'fail' aborts the run",
+    )
+    parser.add_argument(
+        "--bundle-dir", metavar="DIR", default="out/bundles",
+        help="where crash-capture repro bundles are written (default: out/bundles)",
+    )
+    parser.add_argument(
+        "--watchdog-events", type=int, default=None,
+        help="abort a run after this many simulator events",
+    )
+    parser.add_argument(
+        "--watchdog-wall", type=float, default=None,
+        help="abort a run after this many wall-clock seconds",
+    )
+    parser.add_argument(
+        "--variant", default="tdtcp",
+        help="variant for the 'chaos' target (default: tdtcp)",
+    )
+    parser.add_argument(
+        "--check-determinism", action="store_true",
+        help="chaos target: run twice and require byte-identical JSONL traces",
     )
     return parser
 
@@ -115,12 +147,82 @@ def run_figure(name: str, args) -> str:
     return "\n\n".join(sections)
 
 
+def _chaos_config(args, obs: Optional[ObsConfig] = None):
+    from repro.experiments.config import ExperimentConfig
+
+    return ExperimentConfig(
+        variant=args.variant,
+        n_flows=args.flows,
+        weeks=args.weeks,
+        warmup_weeks=args.warmup,
+        seed=args.seed,
+        obs=obs,
+        fault_plan_path=args.fault_plan,
+        audit=args.audit or "fail",
+        watchdog_max_events=args.watchdog_events,
+        watchdog_max_wall_s=args.watchdog_wall,
+        bundle_dir=args.bundle_dir,
+    )
+
+
+def run_chaos(args) -> int:
+    """The chaos target: one bulk run under a fault plan with the
+    invariant auditor on (fail mode unless overridden). Exits non-zero
+    with the repro-bundle path printed when the run fails."""
+    from repro.experiments.runner import run_experiment
+
+    obs = obs_config_from_args(args)
+    result = run_experiment(_chaos_config(args, obs=obs))
+    if result.fault_report is not None:
+        effects = result.fault_report["effects"]
+        print(f"fault plan: {result.fault_report['plan']} "
+              f"({result.fault_report['specs']} specs, "
+              f"{result.fault_report['total_effects']} effects)")
+        for kind, count in sorted(effects.items()):
+            print(f"  {kind}: {count}")
+        for note in result.fault_report["unmatched"]:
+            print(f"  warning: {note}")
+    if result.audit_report is not None:
+        report = result.audit_report
+        print(f"auditor [{report['mode']}]: {report['checks_run']} audits, "
+              f"{report['violation_count']} violations")
+        for violation in report["violations"][:10]:
+            print(f"  [{violation['time_ns']} ns] {violation['check']} "
+                  f"@ {violation['subject']}: {violation['detail']}")
+    if result.failure is not None:
+        print(result.failure.render(), file=sys.stderr)
+        return 1
+    print(f"delivered: {result.aggregate_delivered:,} bytes "
+          f"({result.throughput_gbps:.2f} Gbps aggregate)")
+    if args.check_determinism:
+        digests = []
+        with tempfile.TemporaryDirectory() as tmp:
+            for replica in ("a", "b"):
+                replica_obs = ObsConfig(trace_dir=tmp, label=f"chaos_{replica}",
+                                        chrome_trace=False, csv=False)
+                replica_result = run_experiment(_chaos_config(args, obs=replica_obs))
+                if replica_result.failure is not None:
+                    print(replica_result.failure.render(), file=sys.stderr)
+                    return 1
+                trace = pathlib.Path(tmp) / f"chaos_{replica}.jsonl"
+                digests.append(hashlib.sha256(trace.read_bytes()).hexdigest())
+        if digests[0] != digests[1]:
+            print(f"determinism check FAILED: {digests[0]} != {digests[1]}",
+                  file=sys.stderr)
+            return 1
+        print(f"determinism check passed: trace sha256 {digests[0][:16]}…")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.target == "list":
         print("figures:", ", ".join(sorted(FIGURES)))
         print("sweeps: sweep-ratio, sweep-day")
+        print("chaos: fault-plan run (--fault-plan/--audit/--check-determinism)")
         return 0
+    if args.target == "chaos":
+        return run_chaos(args)
     if args.target == "sweep-ratio":
         result = duty_ratio_sweep(weeks=args.weeks, warmup_weeks=args.warmup, n_flows=args.flows, seed=args.seed)
         print(result.render())
@@ -132,7 +234,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.target not in FIGURES:
         print(f"unknown target {args.target!r}; try 'list'", file=sys.stderr)
         return 2
-    print(run_figure(args.target, args))
+    try:
+        print(run_figure(args.target, args))
+    except RuntimeError as error:
+        # A failed run inside a figure: the message embeds the seed and
+        # repro-bundle path (see ExperimentResult.failure).
+        print(str(error), file=sys.stderr)
+        return 1
     return 0
 
 

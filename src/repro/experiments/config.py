@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.faults.audit import AUDIT_MODES
+from repro.faults.plan import FaultPlan
 from repro.obs.telemetry import ObsConfig
 from repro.rdcn.config import NotifierConfig, RDCNConfig
 from repro.tcp.config import TCPConfig
@@ -40,10 +42,27 @@ class ExperimentConfig:
     # Telemetry (tracepoints / metrics / profiling); None disables —
     # the probe sites then cost one attribute check each.
     obs: Optional[ObsConfig] = None
+    # Fault injection (repro.faults): a FaultPlan armed on the testbed
+    # before the run, or a path to load one from. None = no faults.
+    fault_plan: Optional[FaultPlan] = None
+    fault_plan_path: Optional[str] = None
+    # Runtime invariant auditing: None disables, "warn" records
+    # violations, "fail" raises at the first dirty audit.
+    audit: Optional[str] = None
+    audit_interval_ns: int = 200_000
+    # Watchdog budgets for the run loop; None = unbounded.
+    watchdog_max_events: Optional[int] = None
+    watchdog_max_wall_s: Optional[float] = None
+    # Where crash-capture repro bundles are written.
+    bundle_dir: str = "out/bundles"
 
     def __post_init__(self) -> None:
         if self.weeks <= self.warmup_weeks:
             raise ValueError("weeks must exceed warmup_weeks")
+        if self.audit is not None and self.audit not in AUDIT_MODES:
+            raise ValueError(f"audit must be None or one of {AUDIT_MODES}")
+        if self.fault_plan is None and self.fault_plan_path is not None:
+            self.fault_plan = FaultPlan.load(self.fault_plan_path)
         if self.n_flows < 1:
             raise ValueError("need at least one flow")
         if not (0.0 <= self.background_load < 1.0):

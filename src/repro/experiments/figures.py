@@ -119,6 +119,10 @@ def run_figure(
             obs=obs.for_run(f"{name}_{variant}") if obs is not None else None,
         )
         result = run_experiment(cfg)
+        if result.failure is not None:
+            raise RuntimeError(
+                f"figure {name} variant {variant}: {result.failure.render()}"
+            )
         _process_run(data, variant, result, weeks_plotted)
     _reference_curves(data, rdcn, weeks_plotted)
     return data

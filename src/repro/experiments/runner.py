@@ -9,12 +9,37 @@ from typing import Dict, List, Optional, Tuple
 from repro.apps.workload import build_workload
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.variants import get_variant
+from repro.faults.audit import InvariantAuditor, run_with_watchdog, write_repro_bundle
+from repro.faults.injectors import FaultInjector
 from repro.metrics.collectors import EventCounterCollector, QueueOccupancyCollector
 from repro.obs.telemetry import Telemetry
 from repro.rdcn.config import NotifierConfig
 from repro.rdcn.topology import TwoRackTestbed, build_two_rack_testbed
 from repro.sim.simulator import Simulator
 from repro.units import throughput_gbps
+
+
+@dataclass
+class RunFailure:
+    """Structured description of a crashed run: everything needed to
+    reproduce it (the bundle on disk holds the full config and plan)."""
+
+    error_type: str
+    error_message: str
+    seed: int
+    fault_plan_path: Optional[str]
+    bundle_path: Optional[str]
+
+    def render(self) -> str:
+        lines = [
+            f"run FAILED: {self.error_type}: {self.error_message}",
+            f"  seed: {self.seed}",
+        ]
+        if self.fault_plan_path:
+            lines.append(f"  fault plan: {self.fault_plan_path}")
+        if self.bundle_path:
+            lines.append(f"  repro bundle: {self.bundle_path}")
+        return "\n".join(lines)
 
 
 @dataclass
@@ -45,6 +70,15 @@ class ExperimentResult:
     artifacts: List[str] = field(default_factory=list)
     profile_report: Optional[str] = None
     events_per_second: Optional[float] = None
+    # Robustness outputs: set when fault injection / auditing ran, and
+    # on any crash (the run then returns instead of raising).
+    failure: Optional[RunFailure] = None
+    fault_report: Optional[dict] = None
+    audit_report: Optional[dict] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
 
     @property
     def throughput_gbps(self) -> float:
@@ -97,7 +131,16 @@ def _iter_sender_stats(sender):
 
 
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:
-    """Build the testbed, run the workload, gather the results."""
+    """Build the testbed, run the workload, gather the results.
+
+    Robustness path: when ``config.fault_plan`` is set a
+    :class:`FaultInjector` is armed on the testbed before start; when
+    ``config.audit`` is set an :class:`InvariantAuditor` periodically
+    re-checks accounting invariants. Any exception during the run
+    (including ``fail``-mode audit violations and watchdog aborts) is
+    captured into a repro bundle and returned as a structured
+    ``result.failure`` instead of propagating.
+    """
     variant = get_variant(config.variant)
     rdcn = config.rdcn
     if variant.unoptimized_notifier:
@@ -113,6 +156,14 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         telemetry = Telemetry(config.obs).attach(sim)
 
     testbed = build_two_rack_testbed(rdcn, sim=sim, ecn=variant.needs_ecn)
+
+    # Fault arming happens before variant/workload construction so the
+    # injector's deliver-wrappers sit underneath everything.
+    injector: Optional[FaultInjector] = None
+    if config.fault_plan is not None and len(config.fault_plan) > 0:
+        injector = FaultInjector(testbed.sim, config.fault_plan, testbed.rng)
+        injector.arm_testbed(testbed)
+
     context = variant.prepare(testbed, config)
 
     seq_collector = _AggregateSeqCollector()
@@ -145,10 +196,61 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         )
         background.start()
 
-    testbed.start()
-    testbed.sim.run(until=config.duration_ns)
+    auditor: Optional[InvariantAuditor] = None
+    if config.audit is not None:
+        auditor = InvariantAuditor(
+            testbed.sim, mode=config.audit, interval_ns=config.audit_interval_ns
+        )
+        auditor.watch_workload(workload)
+        for uplink in testbed.uplinks.values():
+            auditor.watch_uplink(uplink)
 
     result = ExperimentResult(config=config, duration_ns=config.duration_ns)
+
+    try:
+        testbed.start()
+        if auditor is not None:
+            auditor.start()
+        run_with_watchdog(
+            testbed.sim,
+            until=config.duration_ns,
+            max_events=config.watchdog_max_events,
+            max_wall_s=config.watchdog_max_wall_s,
+        )
+        if auditor is not None:
+            auditor.audit()  # final sweep at the horizon
+    except Exception as error:
+        bundle_path: Optional[str] = None
+        try:
+            bundle_path = write_repro_bundle(
+                config.bundle_dir,
+                config=config,
+                error=error,
+                fault_plan=config.fault_plan,
+                seed=config.seed,
+                label=config.variant,
+            )
+        except OSError:
+            pass  # an unwritable bundle dir must not mask the failure
+        result.failure = RunFailure(
+            error_type=type(error).__name__,
+            error_message=str(error),
+            seed=config.seed,
+            fault_plan_path=config.fault_plan_path,
+            bundle_path=bundle_path,
+        )
+        if injector is not None:
+            result.fault_report = injector.report()
+        if auditor is not None:
+            result.audit_report = auditor.report()
+        if telemetry is not None:
+            result.artifacts = telemetry.finish()
+        return result
+
+    if injector is not None:
+        result.fault_report = injector.report()
+    if auditor is not None:
+        result.audit_report = auditor.report()
     result.flow_delivered = [flow.delivered_bytes for flow in workload.flows]
     result.aggregate_delivered = seq_collector.total
     result.seq_samples = seq_collector.samples

@@ -91,6 +91,10 @@ class MPTCPConnection:
         self.data_rcv = ReceiveBuffer(initial_rcv_nxt=0)
         self.on_delivered: Optional[Callable[[int, int], None]] = None
 
+        # §3.2 degraded-signal tolerance: garbage TDN ids are counted
+        # and ignored instead of steering the scheduler off the map.
+        self.stale_notifications = 0
+
         self.subflows: List[MPTCPSubflow] = []
         for index in range(n_subflows):
             local_port = local_ports[index] if local_ports else base_port + index
@@ -138,6 +142,11 @@ class MPTCPConnection:
     # Schedule awareness (tdm_schd)
     # ------------------------------------------------------------------
     def _on_tdn_notification(self, notification: TDNNotification) -> None:
+        from repro.core.tdtcp import MAX_TDN_ID
+
+        if notification.tdn_id < 0 or notification.tdn_id > MAX_TDN_ID:
+            self.stale_notifications += 1
+            return
         self.set_active_tdn(notification.tdn_id)
 
     def set_active_tdn(self, tdn_id: int) -> None:

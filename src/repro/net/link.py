@@ -53,6 +53,11 @@ class Link:
         self.tx_bytes = 0
         self.drops = 0
         self.queued_bytes = 0
+        # Fault-injection gate (repro.faults link_flap): while down, new
+        # sends are refused and packets finishing serialization die on
+        # the wire instead of being delivered.
+        self.down = False
+        self.fault_drops = 0
         # Per-size serialization delay memo: packet sizes in a run come
         # from a handful of fixed values (MSS + header combinations), so
         # the float division/round is paid once per distinct size.
@@ -63,6 +68,10 @@ class Link:
 
     def send(self, packet: Packet) -> bool:
         """Enqueue a packet for transmission. Returns False on drop."""
+        if self.down:
+            packet.dropped = True
+            self.fault_drops += 1
+            return False
         fifo = self._fifo
         if self.queue_capacity is not None and len(fifo) >= self.queue_capacity:
             packet.dropped = True
@@ -138,6 +147,16 @@ class Link:
         queue._live += 1
 
     def _tx_done(self, packet: Packet) -> None:
+        if self.down:
+            # The wire died mid-flight: the packet is lost, but keep
+            # draining the FIFO so the link recovers cleanly on revival.
+            packet.dropped = True
+            self.fault_drops += 1
+            if self._fifo:
+                self._start_next()
+            else:
+                self._busy = False
+            return
         sim = self.sim
         queue = sim._queue
         time = sim.now + self.prop_delay_ns

@@ -12,6 +12,7 @@ from typing import Callable, Dict, List, Optional, Protocol
 from repro.net.addressing import FlowKey
 from repro.net.link import Link
 from repro.net.packet import Packet, TCPSegment, TDNNotification
+from repro.obs.telemetry import Telemetry
 from repro.sim.simulator import Simulator
 
 
@@ -37,6 +38,15 @@ class Host:
         # delay applied to every notification before listeners see it.
         # The push/pull optimization in the notifier manipulates this.
         self.notification_processing_ns = 0
+        # §3.2 degraded-signal tolerance: notifications with an unknown
+        # TDN id or a non-increasing notify_seq (duplicates, reordered
+        # late arrivals) are counted and ignored, never dispatched.
+        # max_tdn_id is set by the notifier from the schedule; None
+        # disables the id check (hand-wired unit-test hosts).
+        self.max_tdn_id: Optional[int] = None
+        self.stale_notifications = 0
+        self._last_notify_seq: Optional[int] = None
+        self._tp_stale = Telemetry.of(sim).tracepoint("notifier:stale")
 
     # ------------------------------------------------------------------
     # Wiring
@@ -88,12 +98,40 @@ class Host:
             # Unmatched segments are dropped silently (no RST modelling).
             return
         if isinstance(packet, TDNNotification):
+            if not self._notification_fresh(packet):
+                return
             if self.notification_processing_ns > 0:
                 self.sim.schedule(self.notification_processing_ns, self._dispatch_notification, packet)
             else:
                 self._dispatch_notification(packet)
             return
         # Opaque packets (background traffic) are sinks.
+
+    def _notification_fresh(self, notification: TDNNotification) -> bool:
+        """Filter stale/duplicate/unknown TDN notifications: count them
+        and refuse dispatch; the stack resyncs on the next valid one."""
+        seq = notification.notify_seq
+        if seq is not None:
+            last = self._last_notify_seq
+            if last is not None and seq <= last:
+                self._count_stale(notification, "stale_seq")
+                return False
+            self._last_notify_seq = seq
+        if self.max_tdn_id is not None and not (0 <= notification.tdn_id <= self.max_tdn_id):
+            self._count_stale(notification, "unknown_tdn")
+            return False
+        return True
+
+    def _count_stale(self, notification: TDNNotification, reason: str) -> None:
+        self.stale_notifications += 1
+        if self._tp_stale.enabled:
+            self._tp_stale.emit(
+                self.sim.now,
+                where="host",
+                name=self.address,
+                tdn=notification.tdn_id,
+                reason=reason,
+            )
 
     def _dispatch_notification(self, notification: TDNNotification) -> None:
         for listener in self._tdn_listeners:

@@ -29,6 +29,13 @@ TD_DATA_ACK_OPTION = 4  # kind, len, flags, tdn ids (Figure 5c)
 TD_CAPABLE_OPTION = 4   # kind, len, subtype, num_tdns (Figure 5b)
 ICMP_NOTIFICATION_SIZE = 14 + 20 + 8 + 1  # Eth + IP + ICMP header + TDN ID byte
 
+#: Ceiling on TDN ids a notification may legitimately carry. The id
+#: travels in one byte (Figure 5a) and real schedules use a handful;
+#: ids above this are treated as corruption and ignored by receivers
+#: rather than allocating unbounded per-TDN state. Runtime schedule
+#: changes (§4.2) may still introduce new ids up to this cap.
+MAX_TDN_ID = 63
+
 _packet_ids = itertools.count()
 
 
@@ -192,12 +199,16 @@ class TDNNotification(Packet):
     notification latency studied in §5.4.
     """
 
-    __slots__ = ("tdn_id", "generated_ns")
+    __slots__ = ("tdn_id", "generated_ns", "notify_seq")
 
     def __init__(self, src: str, dst: str, tdn_id: int, created_ns: int = 0):
         super().__init__(src, dst, ICMP_NOTIFICATION_SIZE, created_ns)
         self.tdn_id = tdn_id
         self.generated_ns = created_ns
+        # Monotonic emission counter stamped by the TDNNotifier; hosts
+        # use it to discard stale/duplicate/reordered notifications
+        # (§3.2 degraded-signal tolerance). None when hand-constructed.
+        self.notify_seq: Optional[int] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<TDNNotification #{self.pid} {self.src}->{self.dst} tdn={self.tdn_id}>"

@@ -44,6 +44,7 @@ class DropTailQueue:
         self.on_length_change: Optional[Callable[[int], None]] = None
         self._length_listeners: List[Callable[[int], None]] = []
         self._drop_listeners: List[Callable[[Packet], None]] = []
+        self._pre_squeeze_capacity: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self._fifo)
@@ -73,6 +74,23 @@ class DropTailQueue:
         if capacity <= 0:
             raise ValueError("queue capacity must be positive")
         self.capacity = capacity
+
+    def squeeze(self, capacity: int) -> None:
+        """Fault-injection capacity squeeze: like :meth:`resize` but
+        remembers the pre-squeeze capacity so :meth:`unsqueeze` can
+        restore it (re-squeezing keeps the original saved value)."""
+        if capacity <= 0:
+            raise ValueError("queue capacity must be positive")
+        if self._pre_squeeze_capacity is None:
+            self._pre_squeeze_capacity = self.capacity
+        self.capacity = capacity
+
+    def unsqueeze(self) -> None:
+        """Restore the capacity saved by :meth:`squeeze` (no-op if not
+        squeezed)."""
+        if self._pre_squeeze_capacity is not None:
+            self.capacity = self._pre_squeeze_capacity
+            self._pre_squeeze_capacity = None
 
     def push(self, packet: Packet, now: int) -> bool:
         """Enqueue; returns False (and flags the packet) on overflow."""

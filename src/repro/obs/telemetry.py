@@ -236,6 +236,16 @@ class _MetricsBridge:
         self._notify_latency = registry.histogram(
             "notifier_delivery_latency_ns", "TDN notification end-to-end latency", ()
         )
+        self._notify_stale = registry.counter(
+            "tdn_notification_stale", "stale/duplicate/unknown TDN notifications ignored",
+            ("where", "reason"),
+        )
+        self._fault_injections = registry.counter(
+            "fault_injections_total", "injected fault effects", ("kind",)
+        )
+        self._audit_violations = registry.counter(
+            "audit_violations_total", "runtime invariant violations", ("check",)
+        )
 
     def __call__(self, time_ns: int, name: str, fields: dict) -> None:
         if name == "tcp:cwnd_update":
@@ -256,6 +266,14 @@ class _MetricsBridge:
             self._occupancy_dist.observe(length, queue=fields.get("queue"))
         elif name == "notifier:deliver":
             self._notify_latency.observe(fields.get("latency_ns", 0))
+        elif name == "notifier:stale":
+            self._notify_stale.inc(
+                1, where=fields.get("where"), reason=fields.get("reason")
+            )
+        elif name == "fault:inject":
+            self._fault_injections.inc(1, kind=fields.get("kind"))
+        elif name == "audit:violation":
+            self._audit_violations.inc(1, check=fields.get("check"))
 
 
 class _DisabledTelemetry:

@@ -58,6 +58,18 @@ TRACEPOINT_CATALOG: Dict[str, Tuple[Tuple[str, ...], str]] = {
         ("host", "tdn", "latency_ns"),
         "TDN-change notification processed by a host (§5.4 end-to-end latency)",
     ),
+    "notifier:stale": (
+        ("where", "name", "tdn", "reason"),
+        "stale/duplicate/unknown TDN notification counted and ignored (§3.2 tolerance)",
+    ),
+    "fault:inject": (
+        ("kind", "target", "detail"),
+        "one injected fault effect (repro.faults: drop, flap, stall, skew, ...)",
+    ),
+    "audit:violation": (
+        ("check", "subject", "detail"),
+        "runtime invariant auditor found corrupted state (repro.faults.audit)",
+    ),
 }
 
 

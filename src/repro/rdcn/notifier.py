@@ -29,7 +29,7 @@ import math
 from typing import Dict, List
 
 from repro.net.node import Host
-from repro.net.packet import TDNNotification
+from repro.net.packet import MAX_TDN_ID, TDNNotification
 from repro.net.switch import ToRSwitch
 from repro.obs.telemetry import Telemetry
 from repro.rdcn.config import NotifierConfig
@@ -73,6 +73,10 @@ class TDNNotifier:
         self.driver = driver
         self.config = config
         self.rng = rng.fork("notifier")
+        # Generation-delay sampling draws from its own named child so
+        # adding more notifier randomness (e.g. fault streams) later
+        # never shifts the delay sequence.
+        self._generation_rng = self.rng.fork("generation")
         # Rate lookup for the "slowdown" night policy; without one,
         # night announcements degrade to the "always"/"none" behaviour.
         self.tdn_rate_of = tdn_rate_of
@@ -80,6 +84,13 @@ class TDNNotifier:
         self._racks: List[ToRSwitch] = []
         self._hosts_by_rack: Dict[int, List[Host]] = {}
         self.notifications_sent = 0
+        # Monotonic per-notification emission counter (stamped into
+        # notify_seq) so hosts can reject stale/duplicate arrivals.
+        self._notify_seq = 0
+        # Fault-injection hook (repro.faults): called per host delivery
+        # as hook(host, notification) -> list of extra delays in ns
+        # ([] drops, [0] delivers on time, extra entries duplicate).
+        self.fault_hook = None
         # Latency samples (ns) from generation decision to host dispatch,
         # recorded for the §5.4 microbenchmarks.
         self.delivery_latency_samples: List[int] = []
@@ -91,6 +102,10 @@ class TDNNotifier:
     def add_rack(self, tor: ToRSwitch, hosts: List[Host]) -> None:
         self._racks.append(tor)
         self._hosts_by_rack[tor.rack] = list(hosts)
+        for host in hosts:
+            # Protocol ceiling, not the schedule's current TDN count:
+            # runtime schedule changes (§4.2) may introduce new ids.
+            host.max_tdn_id = MAX_TDN_ID
         # Host-side processing cost per the push/pull model: under push,
         # host i's flows see the update after i per-flow update costs
         # (the "unlucky flows" of §5.4). Under pull the cost is one read.
@@ -118,12 +133,12 @@ class TDNNotifier:
     def generation_delay_ns(self) -> int:
         if self.config.packet_caching:
             return sample_generation_delay_ns(
-                self.rng,
+                self._generation_rng,
                 self.config.generation_cached_p50_ns,
                 self.config.generation_cached_tail_ns,
             )
         return sample_generation_delay_ns(
-            self.rng,
+            self._generation_rng,
             self.config.generation_uncached_p50_ns,
             self.config.generation_uncached_tail_ns,
         )
@@ -153,18 +168,41 @@ class TDNNotifier:
 
     def _emit(self, tor: ToRSwitch, tdn_id: int, generated_ns: int) -> None:
         hosts = self._hosts_by_rack.get(tor.rack, [])
+        hook = self.fault_hook
         for host in hosts:
             notification = TDNNotification(tor.name, host.address, tdn_id, generated_ns)
+            notification.notify_seq = self._notify_seq
+            self._notify_seq += 1
             self.notifications_sent += 1
-            if self.config.dedicated_network:
-                # Dedicated control network: fixed, uncontended latency.
-                self.sim.schedule(
-                    self.config.control_delay_ns, host.deliver, notification
-                )
-            else:
-                # Shared data network: queue behind data packets on the
-                # host's downlink.
-                self._send_via_downlink(tor, host, notification)
+            if hook is None:
+                self._dispatch(tor, host, notification, 0)
+                continue
+            deliveries = hook(host, notification)
+            for copy_index, extra_ns in enumerate(deliveries):
+                if copy_index == 0:
+                    duplicate = notification
+                else:
+                    # Duplicates are distinct packet objects sharing the
+                    # original's notify_seq, so host-level seq filtering
+                    # absorbs the storm.
+                    duplicate = TDNNotification(tor.name, host.address, tdn_id, generated_ns)
+                    duplicate.notify_seq = notification.notify_seq
+                self._dispatch(tor, host, duplicate, extra_ns)
+
+    def _dispatch(
+        self, tor: ToRSwitch, host: Host, notification: TDNNotification, extra_ns: int
+    ) -> None:
+        if self.config.dedicated_network:
+            # Dedicated control network: fixed, uncontended latency.
+            self.sim.schedule(
+                self.config.control_delay_ns + extra_ns, host.deliver, notification
+            )
+        elif extra_ns > 0:
+            self.sim.schedule(extra_ns, self._send_via_downlink, tor, host, notification)
+        else:
+            # Shared data network: queue behind data packets on the
+            # host's downlink.
+            self._send_via_downlink(tor, host, notification)
 
     def _send_via_downlink(self, tor: ToRSwitch, host: Host, notification: TDNNotification) -> None:
         link = tor._downlinks.get(host.address)

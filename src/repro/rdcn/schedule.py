@@ -155,6 +155,14 @@ class ScheduleDriver:
         self._base_ns = 0
         self.current_tdn: Optional[int] = None
         self.day_index = 0  # number of day starts so far
+        # Fault-injection hook (repro.faults schedule_skew): called as
+        # hook(phase, global_index, nominal_ns) -> extra delay in ns for
+        # that day/night boundary. None = nominal timing.
+        self.boundary_jitter = None
+        # Skew can make boundaries fire out of order; stale ones are
+        # counted and ignored (never raise), and the fabric resyncs on
+        # the next in-order boundary.
+        self.out_of_order_boundaries = 0
         self._tp_day_night = Telemetry.of(sim).tracepoint("rdcn:day_night")
 
     def on_day_start(self, fn: Callable[[int, int], None]) -> None:
@@ -199,9 +207,15 @@ class ScheduleDriver:
         ):
             global_index = week_number * days_per_week + local_index
             start = week_start + offset
-            self.sim.at(start, self._day_start, day.tdn_id, global_index)
+            jitter = self.boundary_jitter
+            day_at = start
+            night_at = start + day.duration_ns
+            if jitter is not None:
+                day_at = max(start + jitter("day", global_index, start), self.sim.now)
+                night_at = max(night_at + jitter("night", global_index, night_at), self.sim.now)
+            self.sim.at(day_at, self._day_start, day.tdn_id, global_index)
             if day.night_ns > 0:
-                self.sim.at(start + day.duration_ns, self._night_start, global_index)
+                self.sim.at(night_at, self._night_start, global_index)
             for lead_ns, fn, want_tdn in self._lead_fns:
                 if want_tdn is not None and day.tdn_id != want_tdn:
                     continue
@@ -211,6 +225,11 @@ class ScheduleDriver:
         self._weeks_laid_out = week_number + 1
 
     def _day_start(self, tdn_id: int, global_index: int) -> None:
+        if global_index + 1 <= self.day_index:
+            # A skewed boundary arrived after a later one already fired:
+            # applying it would roll the fabric back. Ignore and count.
+            self.out_of_order_boundaries += 1
+            return
         self.current_tdn = tdn_id
         self.day_index = global_index + 1
         if self._tp_day_night.enabled:
@@ -221,6 +240,10 @@ class ScheduleDriver:
             fn(tdn_id, global_index)
 
     def _night_start(self, global_index: int) -> None:
+        if self.day_index > global_index + 1:
+            # Stale night (a later day already started): ignore.
+            self.out_of_order_boundaries += 1
+            return
         self.current_tdn = None
         if self._tp_day_night.enabled:
             self._tp_day_night.emit(

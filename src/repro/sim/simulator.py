@@ -103,8 +103,12 @@ class Simulator:
         """Process events until the queue drains, ``until`` is reached, or
         ``max_events`` have fired. Returns the number of events processed.
 
-        When stopping at ``until``, the clock is advanced to ``until`` so
-        that subsequent relative scheduling behaves intuitively.
+        When the run reaches ``until`` (queue drained up to the horizon),
+        the clock is advanced to ``until`` so that subsequent relative
+        scheduling behaves intuitively. A run cut short by ``max_events``
+        or :meth:`stop` does **not** advance the clock — events are still
+        pending before the horizon, and jumping past them would make them
+        fire in the past (the chunked watchdog relies on this).
 
         The loop works on the event queue's heap directly: lazy discard
         of cancelled entries, the ``until`` horizon check, and the pop
@@ -122,11 +126,13 @@ class Simulator:
         heappop = _heappop
         limit = max_events if max_events is not None else (1 << 62)
         horizon = until if until is not None else (1 << 62)
+        drained = False
         try:
             while self._running:
                 if processed >= limit:
                     break
                 if not heap:
+                    drained = True
                     break
                 entry = heap[0]
                 event = entry[2]
@@ -135,6 +141,7 @@ class Simulator:
                     continue
                 time = entry[0]
                 if time > horizon:
+                    drained = True
                     break
                 heappop(heap)
                 queue._live -= 1
@@ -171,7 +178,7 @@ class Simulator:
             self._event_count += processed
             if profiler is not None:
                 profiler.run_finished(processed)
-        if until is not None and self.now < until:
+        if drained and until is not None and self.now < until:
             self.now = until
         return processed
 
