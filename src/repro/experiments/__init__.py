@@ -1,8 +1,14 @@
-"""Experiment harness: variants, runner, and per-figure definitions."""
+"""Experiment harness: variants, runner, parallel executor, and
+per-figure definitions."""
 
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.executor import (
+    BatchStats,
+    ExperimentExecutor,
+    ResultCache,
+)
 from repro.experiments.variants import VARIANTS, VariantSpec, get_variant
-from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.runner import ExperimentResult, RunFailure, run_experiment
 
 __all__ = [
     "ExperimentConfig",
@@ -10,5 +16,9 @@ __all__ = [
     "VariantSpec",
     "get_variant",
     "ExperimentResult",
+    "RunFailure",
     "run_experiment",
+    "ExperimentExecutor",
+    "ResultCache",
+    "BatchStats",
 ]

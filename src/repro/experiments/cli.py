@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro.experiments.cli fig7 --weeks 40 --flows 8
+    python -m repro.experiments.cli fig7 --jobs 4 --cache-dir out/cache
     python -m repro.experiments.cli fig10 --csv out/
     python -m repro.experiments.cli fig7 --trace-out out/ --metrics-out out/ --profile
     python -m repro.experiments.cli sweep-ratio
@@ -20,6 +21,7 @@ import tempfile
 from typing import Callable, Dict, List, Optional
 
 from repro.experiments import figures
+from repro.experiments.executor import ExperimentExecutor
 from repro.obs.telemetry import ObsConfig
 from repro.experiments.report import (
     figure_to_csv,
@@ -55,6 +57,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--flows", type=int, default=8, help="parallel cross-rack flows")
     parser.add_argument("--seed", type=int, default=1, help="simulation seed")
     parser.add_argument("--csv", metavar="DIR", default=None, help="also write series as CSV files")
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for figure/sweep batches (default: 1 = in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="on-disk result cache keyed by config content hash; a warm cache re-run executes zero simulations",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="neither read nor write the result cache even when --cache-dir is set",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=1,
+        help="re-execute a failed run up to this many extra times (default: 1)",
+    )
     parser.add_argument(
         "--trace-out", metavar="DIR", default=None,
         help="record tracepoints; write JSONL, Chrome trace JSON, and CSVs here",
@@ -115,10 +133,29 @@ def obs_config_from_args(args) -> Optional[ObsConfig]:
     )
 
 
-def run_figure(name: str, args) -> str:
+def executor_from_args(args) -> ExperimentExecutor:
+    """One executor per CLI invocation: worker count, cache location,
+    and retry budget straight from the flags, progress on stderr."""
+
+    def progress(done: int, total: int, label: str, outcome: str) -> None:
+        print(f"  [{done}/{total}] {label}: {outcome}", file=sys.stderr)
+
+    return ExperimentExecutor(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        retries=args.retries,
+        progress=progress if (args.jobs > 1 or args.cache_dir) else None,
+    )
+
+
+def run_figure(name: str, args) -> int:
+    """Run one figure; failed variants degrade the figure (reported
+    per-variant on stderr, exit 1) instead of aborting it."""
+    executor = executor_from_args(args)
     data = FIGURES[name](
         weeks=args.weeks, warmup_weeks=args.warmup, n_flows=args.flows, seed=args.seed,
-        obs=obs_config_from_args(args),
+        obs=obs_config_from_args(args), executor=executor,
     )
     sections = [render_throughput_summary(data)]
     if data.seq_curves:
@@ -144,7 +181,13 @@ def run_figure(name: str, args) -> str:
         for variant, result in data.results.items():
             if result.profile_report:
                 sections.append(f"profile [{name}/{variant}]\n{result.profile_report}")
-    return "\n\n".join(sections)
+    sections.append(f"executor: {executor.last_batch.render()}")
+    print("\n\n".join(sections))
+    if data.failures:
+        for variant, failure in sorted(data.failures.items()):
+            print(f"[{name}/{variant}] {failure.render()}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _chaos_config(args, obs: Optional[ObsConfig] = None):
@@ -223,25 +266,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.target == "chaos":
         return run_chaos(args)
-    if args.target == "sweep-ratio":
-        result = duty_ratio_sweep(weeks=args.weeks, warmup_weeks=args.warmup, n_flows=args.flows, seed=args.seed)
+    if args.target in ("sweep-ratio", "sweep-day"):
+        from repro.faults.plan import FaultPlan
+
+        sweep = duty_ratio_sweep if args.target == "sweep-ratio" else day_length_sweep
+        executor = executor_from_args(args)
+        result = sweep(
+            weeks=args.weeks, warmup_weeks=args.warmup, n_flows=args.flows,
+            seed=args.seed, executor=executor,
+            fault_plan=FaultPlan.load(args.fault_plan) if args.fault_plan else None,
+            watchdog_max_events=args.watchdog_events,
+            watchdog_max_wall_s=args.watchdog_wall,
+        )
         print(result.render())
-        return 0
-    if args.target == "sweep-day":
-        result = day_length_sweep(weeks=args.weeks, warmup_weeks=args.warmup, n_flows=args.flows, seed=args.seed)
-        print(result.render())
-        return 0
+        print(f"executor: {executor.last_batch.render()}")
+        # Failed points are rendered as FAILED cells above; a sweep with
+        # any crashed run must not exit clean.
+        return 0 if result.ok else 1
     if args.target not in FIGURES:
         print(f"unknown target {args.target!r}; try 'list'", file=sys.stderr)
         return 2
-    try:
-        print(run_figure(args.target, args))
-    except RuntimeError as error:
-        # A failed run inside a figure: the message embeds the seed and
-        # repro-bundle path (see ExperimentResult.failure).
-        print(str(error), file=sys.stderr)
-        return 1
-    return 0
+    return run_figure(args.target, args)
 
 
 if __name__ == "__main__":

@@ -2,8 +2,15 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, replace
 from typing import Optional
+
+#: Bumped whenever the canonical config encoding (or the semantics of
+#: any encoded field) changes, so stale executor cache entries written
+#: under an older scheme can never satisfy a new lookup.
+CONFIG_SCHEMA_VERSION = 1
 
 from repro.faults.audit import AUDIT_MODES
 from repro.faults.plan import FaultPlan
@@ -79,3 +86,58 @@ class ExperimentConfig:
     def with_unoptimized_notifier(self) -> "ExperimentConfig":
         rdcn = replace(self.rdcn, notifier=NotifierConfig.unoptimized())
         return replace(self, rdcn=rdcn)
+
+    # ------------------------------------------------------------------
+    # Canonical serialization (executor cache keys, spawn-safe workers)
+    # ------------------------------------------------------------------
+    #: Fields that never change what a run computes: telemetry output
+    #: locations and the *path* a fault plan was loaded from (the plan
+    #: content itself is part of the key). Excluded from cache_key().
+    NON_SEMANTIC_FIELDS = ("obs", "bundle_dir", "fault_plan_path")
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-ready view of the post-init state. Nested
+        configs serialize through their own ``to_dict``; the round trip
+        ``from_dict(to_dict(c)) == c`` is exact."""
+        out: dict = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value is not None and f.name in ("rdcn", "tcp", "obs", "fault_plan"):
+                value = value.to_dict()
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown ExperimentConfig fields {sorted(unknown)}")
+        kwargs = dict(data)
+        if kwargs.get("rdcn") is not None:
+            kwargs["rdcn"] = RDCNConfig.from_dict(kwargs["rdcn"])
+        if kwargs.get("tcp") is not None:
+            kwargs["tcp"] = TCPConfig.from_dict(kwargs["tcp"])
+        if kwargs.get("obs") is not None:
+            kwargs["obs"] = ObsConfig.from_dict(kwargs["obs"])
+        if kwargs.get("fault_plan") is not None:
+            kwargs["fault_plan"] = FaultPlan.from_dict(kwargs["fault_plan"])
+        return cls(**kwargs)
+
+    def canonical_json(self) -> str:
+        """Deterministic encoding of the semantic fields only — the
+        cache-key payload (see ``NON_SEMANTIC_FIELDS``)."""
+        payload = self.to_dict()
+        for name in self.NON_SEMANTIC_FIELDS:
+            payload.pop(name, None)
+        return json.dumps(
+            {"schema": CONFIG_SCHEMA_VERSION, "config": payload},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    def cache_key(self) -> str:
+        """Stable content hash identifying this run's outputs: two
+        configs share a key iff every simulation-affecting field (fault
+        plan included) is identical."""
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()

@@ -1,0 +1,312 @@
+"""Parallel experiment execution with deterministic result caching.
+
+The paper averages "results across thousands of optical weeks" per
+figure (§5); every figure and sweep is a batch of fully independent
+seeded runs, so :class:`ExperimentExecutor` maps a list of
+:class:`~repro.experiments.config.ExperimentConfig`\\ s across worker
+processes and reassembles the results **in input order** — a parallel
+batch is value-identical to the sequential loop it replaces.
+
+Three layers:
+
+* **Transport** — workers receive a config as its canonical dict
+  (:meth:`ExperimentConfig.to_dict`) and return the result the same way
+  (:meth:`ExperimentResult.to_dict`), so the pool is spawn-safe: no
+  live simulator objects ever cross a process boundary, and the
+  ``jobs=1`` inline path round-trips through the very same encoding to
+  keep both paths bit-for-bit interchangeable.
+* **Cache** — :class:`ResultCache` stores successful results on disk
+  under ``sha256(canonical config JSON)``
+  (:meth:`ExperimentConfig.cache_key`). Two configs share a key iff
+  every simulation-affecting field matches (fault plan included;
+  telemetry output paths excluded), so a warm cache replays a batch
+  without executing a single simulation. Corrupt or stale-schema
+  entries read as misses, never as errors. Runs with active telemetry
+  bypass the cache entirely — their artifacts must actually be written.
+* **Retry** — a bounded retry policy re-executes failed runs
+  (``result.failure`` set, e.g. a watchdog wall-clock abort on a loaded
+  machine) up to ``retries`` extra times. Failures still standing after
+  the last attempt come back as structured
+  :class:`~repro.experiments.runner.RunFailure` results — callers
+  decide whether a failed item degrades or aborts the batch. Failed
+  results are never cached.
+
+Progress and cache-hit/miss/retry counters are surfaced through a
+:class:`repro.obs.metrics.MetricsRegistry` (``executor_*`` families)
+plus a per-batch :class:`BatchStats`.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import pathlib
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.experiments.config import CONFIG_SCHEMA_VERSION, ExperimentConfig
+from repro.experiments.runner import ExperimentResult, RunFailure, run_experiment
+from repro.obs.metrics import MetricsRegistry
+
+#: (done, total, label, outcome) — outcome is "cached", "ok", "failed",
+#: or "retry" (retry reports do not advance ``done``).
+ProgressFn = Callable[[int, int, str, str], None]
+
+
+def execute_config_dict(payload: dict) -> dict:
+    """Worker entry point (module-level so spawned processes can import
+    it): canonical config dict in, canonical result dict out."""
+    config = ExperimentConfig.from_dict(payload)
+    return run_experiment(config).to_dict()
+
+
+def _synthetic_failure(config: ExperimentConfig, error: Exception) -> ExperimentResult:
+    """A structured failure for errors *outside* the run itself
+    (transport, a broken worker) — ``run_experiment`` already converts
+    in-run crashes into ``result.failure``."""
+    result = ExperimentResult(config=config, duration_ns=config.duration_ns)
+    result.failure = RunFailure(
+        error_type=type(error).__name__,
+        error_message=str(error),
+        seed=config.seed,
+        fault_plan_path=config.fault_plan_path,
+        bundle_path=None,
+    )
+    return result
+
+
+class ResultCache:
+    """On-disk map from a config's content hash to its serialized
+    result. Entries are sharded by key prefix and written atomically
+    (tmp file + rename) so concurrent batches can share a directory."""
+
+    def __init__(self, directory) -> None:
+        self.directory = pathlib.Path(directory)
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[ExperimentResult]:
+        """The cached result, or None on miss/corruption/schema skew."""
+        try:
+            text = self.path_for(key).read_text()
+        except OSError:
+            return None
+        try:
+            doc = json.loads(text)
+            if doc.get("schema") != CONFIG_SCHEMA_VERSION or doc.get("key") != key:
+                return None
+            return ExperimentResult.from_dict(doc["result"])
+        except (ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, key: str, result: ExperimentResult) -> str:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "schema": CONFIG_SCHEMA_VERSION,
+            "key": key,
+            "result": result.to_dict(),
+        }
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(doc, sort_keys=True))
+        os.replace(tmp, path)
+        return str(path)
+
+
+@dataclass
+class BatchStats:
+    """Counters for one ``run_batch`` call."""
+
+    total: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    retries: int = 0
+    failures: int = 0
+
+    def render(self) -> str:
+        return (
+            f"{self.total} runs: {self.executed} executed, "
+            f"{self.cache_hits} cache hits, {self.retries} retries, "
+            f"{self.failures} failures"
+        )
+
+
+class ExperimentExecutor:
+    """Maps config batches across a spawn-context process pool.
+
+    ``jobs=1`` runs inline (no pool) through the same serialized
+    transport, so results are identical whichever path executes them.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        use_cache: bool = True,
+        retries: int = 1,
+        metrics: Optional[MetricsRegistry] = None,
+        progress: Optional[ProgressFn] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.jobs = jobs
+        self.retries = retries
+        self.cache = ResultCache(cache_dir) if (cache_dir and use_cache) else None
+        self.progress = progress
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.last_batch = BatchStats()
+        self._m_hits = self.metrics.counter(
+            "executor_cache_hits_total", "batch items served from the result cache"
+        )
+        self._m_misses = self.metrics.counter(
+            "executor_cache_misses_total", "cache lookups that fell through to execution"
+        )
+        self._m_retries = self.metrics.counter(
+            "executor_retries_total", "failed runs re-executed under the retry policy"
+        )
+        self._m_runs = self.metrics.counter(
+            "executor_runs_total", "completed batch items", ("outcome",)
+        )
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        configs: Sequence[ExperimentConfig],
+        labels: Optional[Sequence[str]] = None,
+    ) -> List[ExperimentResult]:
+        """Run every config; results come back in input order no matter
+        which worker finished first (order-independent assembly — the
+        determinism contract the figures rely on)."""
+        configs = list(configs)
+        if labels is None:
+            labels = [f"{c.variant}/seed{c.seed}" for c in configs]
+        if len(labels) != len(configs):
+            raise ValueError("labels must match configs one-to-one")
+        stats = self.last_batch = BatchStats(total=len(configs))
+        results: List[Optional[ExperimentResult]] = [None] * len(configs)
+        keys = [self._cacheable_key(c) for c in configs]
+        done = 0
+
+        pending: List[int] = []
+        for i, config in enumerate(configs):
+            cached = self.cache.get(keys[i]) if keys[i] is not None else None
+            if cached is not None:
+                results[i] = cached
+                stats.cache_hits += 1
+                self._m_hits.inc(1)
+                done += 1
+                self._report(done, stats.total, labels[i], "cached")
+                continue
+            if keys[i] is not None:
+                stats.cache_misses += 1
+                self._m_misses.inc(1)
+            pending.append(i)
+
+        if pending:
+            stats.executed += len(pending)
+            if self.jobs == 1 or len(pending) == 1:
+                for i in pending:
+                    results[i] = self._run_inline(configs[i], labels[i], stats)
+                    done += 1
+                    self._finish_item(results[i], labels[i], done, stats)
+            else:
+                done = self._run_pool(configs, labels, pending, results, done, stats)
+
+        for i in pending:
+            if self.cache is not None and keys[i] is not None and results[i].ok:
+                self.cache.put(keys[i], results[i])
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _cacheable_key(self, config: ExperimentConfig) -> Optional[str]:
+        if self.cache is None:
+            return None
+        if config.obs is not None and config.obs.active:
+            return None  # telemetry artifacts cannot be replayed from cache
+        return config.cache_key()
+
+    def _report(self, done: int, total: int, label: str, outcome: str) -> None:
+        if self.progress is not None:
+            self.progress(done, total, label, outcome)
+
+    def _finish_item(
+        self, result: ExperimentResult, label: str, done: int, stats: BatchStats
+    ) -> None:
+        if result.ok:
+            self._m_runs.inc(1, outcome="ok")
+            self._report(done, stats.total, label, "ok")
+        else:
+            stats.failures += 1
+            self._m_runs.inc(1, outcome="failed")
+            self._report(done, stats.total, label, "failed")
+
+    def _run_once(self, config: ExperimentConfig) -> ExperimentResult:
+        try:
+            return ExperimentResult.from_dict(execute_config_dict(config.to_dict()))
+        except Exception as error:
+            return _synthetic_failure(config, error)
+
+    def _run_inline(
+        self, config: ExperimentConfig, label: str, stats: BatchStats
+    ) -> ExperimentResult:
+        result = self._run_once(config)
+        for _attempt in range(self.retries):
+            if result.ok:
+                break
+            stats.retries += 1
+            self._m_retries.inc(1)
+            self._report(0, stats.total, label, "retry")
+            result = self._run_once(config)
+        return result
+
+    def _run_pool(
+        self,
+        configs: List[ExperimentConfig],
+        labels: Sequence[str],
+        pending: List[int],
+        results: List[Optional[ExperimentResult]],
+        done: int,
+        stats: BatchStats,
+    ) -> int:
+        ctx = multiprocessing.get_context("spawn")
+        attempts_left = {i: self.retries for i in pending}
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(pending)), mp_context=ctx
+        ) as pool:
+            futures = {}
+            for i in pending:
+                futures[pool.submit(execute_config_dict, configs[i].to_dict())] = i
+            while futures:
+                finished, _ = wait(set(futures), return_when=FIRST_COMPLETED)
+                for fut in finished:
+                    i = futures.pop(fut)
+                    try:
+                        result = ExperimentResult.from_dict(fut.result())
+                    except Exception as error:
+                        result = _synthetic_failure(configs[i], error)
+                    if not result.ok and attempts_left[i] > 0:
+                        attempts_left[i] -= 1
+                        stats.retries += 1
+                        self._m_retries.inc(1)
+                        self._report(done, stats.total, labels[i], "retry")
+                        try:
+                            futures[
+                                pool.submit(execute_config_dict, configs[i].to_dict())
+                            ] = i
+                            continue
+                        except Exception as error:  # pool already broken
+                            result = _synthetic_failure(configs[i], error)
+                    results[i] = result
+                    done += 1
+                    self._finish_item(result, labels[i], done, stats)
+        return done

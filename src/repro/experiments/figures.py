@@ -18,7 +18,8 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.executor import ExperimentExecutor
+from repro.experiments.runner import ExperimentResult, RunFailure
 from repro.obs.telemetry import ObsConfig
 from repro.metrics.cdf import empirical_cdf
 from repro.metrics.seqgraph import (
@@ -54,6 +55,14 @@ class FigureData:
     reordering_cdfs: Dict[str, Tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
     retx_cdfs: Dict[str, Tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
     results: Dict[str, ExperimentResult] = field(default_factory=dict)
+    # Partial-figure degradation: variants whose runs crashed end up
+    # here (with their structured failures) instead of aborting the
+    # figure; the surviving variants still render.
+    failures: Dict[str, RunFailure] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
 
 
 def _schedule_of(rdcn: RDCNConfig) -> TDNSchedule:
@@ -101,15 +110,28 @@ def run_figure(
     weeks_plotted: int = 3,
     seed: int = 1,
     obs: Optional[ObsConfig] = None,
+    executor: Optional[ExperimentExecutor] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    retries: int = 1,
 ) -> FigureData:
     """Generic driver: run every variant on one RDCN configuration.
+
+    The variant runs are independent, so they execute as one
+    :class:`ExperimentExecutor` batch — pass ``executor`` (or
+    ``jobs``/``cache_dir``) to fan them out across processes and reuse
+    cached results; assembly is in variant order regardless of which
+    worker finishes first, so a parallel figure is value-identical to a
+    sequential one. A crashed variant no longer aborts the figure: it
+    lands in ``FigureData.failures`` while the others render.
 
     When ``obs`` is set, each variant's run records telemetry under the
     label ``{figure}_{variant}`` (artifact paths end up on the per-
     variant :class:`ExperimentResult`)."""
     data = FigureData(name=name, rdcn=rdcn, weeks_plotted=weeks_plotted)
-    for variant in variants:
-        cfg = ExperimentConfig(
+    configs = [
+        ExperimentConfig(
             variant=variant,
             rdcn=rdcn,
             n_flows=n_flows,
@@ -118,11 +140,17 @@ def run_figure(
             seed=seed,
             obs=obs.for_run(f"{name}_{variant}") if obs is not None else None,
         )
-        result = run_experiment(cfg)
+        for variant in variants
+    ]
+    if executor is None:
+        executor = ExperimentExecutor(
+            jobs=jobs, cache_dir=cache_dir, use_cache=use_cache, retries=retries
+        )
+    results = executor.run_batch(configs, labels=[f"{name}/{v}" for v in variants])
+    for variant, result in zip(variants, results):
         if result.failure is not None:
-            raise RuntimeError(
-                f"figure {name} variant {variant}: {result.failure.render()}"
-            )
+            data.failures[variant] = result.failure
+            continue
         _process_run(data, variant, result, weeks_plotted)
     _reference_curves(data, rdcn, weeks_plotted)
     return data
@@ -172,18 +200,20 @@ def latency_only_rdcn(rate_gbps: float = 100.0) -> RDCNConfig:
 def fig2(
     weeks: int = 40, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1,
     obs: Optional[ObsConfig] = None,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> FigureData:
     """Figure 2: motivation sequence graph (CUBIC, MPTCP vs optimal and
     packet-only) over three optical weeks."""
     return run_figure(
         "fig2", bw_latency_rdcn(), MOTIVATION_VARIANTS, weeks, warmup_weeks, n_flows,
-        seed=seed, obs=obs,
+        seed=seed, obs=obs, executor=executor,
     )
 
 
 def fig7(
     weeks: int = 40, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1,
     obs: Optional[ObsConfig] = None,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> FigureData:
     """Figure 7: all variants under bandwidth AND latency differences.
 
@@ -191,41 +221,44 @@ def fig7(
     """
     return run_figure(
         "fig7", bw_latency_rdcn(), FULL_VARIANTS, weeks, warmup_weeks, n_flows,
-        seed=seed, obs=obs,
+        seed=seed, obs=obs, executor=executor,
     )
 
 
 def fig8(
     weeks: int = 40, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1,
     obs: Optional[ObsConfig] = None,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> FigureData:
     """Figure 8: bandwidth difference only."""
     return run_figure(
         "fig8", bw_only_rdcn(), FULL_VARIANTS, weeks, warmup_weeks, n_flows,
-        seed=seed, obs=obs,
+        seed=seed, obs=obs, executor=executor,
     )
 
 
 def fig9(
     weeks: int = 40, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1,
     obs: Optional[ObsConfig] = None,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> FigureData:
     """Figure 9: latency difference only at 100 Gbps."""
     return run_figure(
         "fig9", latency_only_rdcn(100.0), FULL_VARIANTS, weeks, warmup_weeks, n_flows,
-        seed=seed, obs=obs,
+        seed=seed, obs=obs, executor=executor,
     )
 
 
 def fig10(
     weeks: int = 60, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1,
     obs: Optional[ObsConfig] = None,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> FigureData:
     """Figure 10: CDFs of reordering events and retransmitted packets
     per optical day for CUBIC, MPTCP, and TDTCP."""
     data = run_figure(
         "fig10", bw_latency_rdcn(), REORDERING_VARIANTS, weeks, warmup_weeks, n_flows,
-        seed=seed, obs=obs,
+        seed=seed, obs=obs, executor=executor,
     )
     for variant, result in data.results.items():
         data.reordering_cdfs[variant] = empirical_cdf(result.reordering_per_day)
@@ -236,6 +269,7 @@ def fig10(
 def fig11(
     weeks: int = 40, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1,
     obs: Optional[ObsConfig] = None,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> FigureData:
     """Figure 11: TDTCP with and without the §5.4 notification
     optimizations."""
@@ -248,24 +282,27 @@ def fig11(
         n_flows,
         seed=seed,
         obs=obs,
+        executor=executor,
     )
 
 
 def fig13(
     weeks: int = 40, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1,
     obs: Optional[ObsConfig] = None,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> FigureData:
     """Figure 13 (Appendix A.3): VOQ occupancy of CUBIC and MPTCP in the
     Figure-2 configuration."""
     return run_figure(
         "fig13", bw_latency_rdcn(), MOTIVATION_VARIANTS, weeks, warmup_weeks, n_flows,
-        seed=seed, obs=obs,
+        seed=seed, obs=obs, executor=executor,
     )
 
 
 def fig14(
     rate_gbps: float, weeks: int = 40, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1,
     obs: Optional[ObsConfig] = None,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> FigureData:
     """Figure 14 (Appendix A.4): VOQ occupancy, latency-only RDCN at a
     fixed rate (the paper shows 10 and 100 Gbps panels)."""
@@ -278,4 +315,5 @@ def fig14(
         n_flows,
         seed=seed,
         obs=obs,
+        executor=executor,
     )

@@ -12,15 +12,8 @@ import numpy as np
 
 from repro.experiments.figures import FigureData
 from repro.metrics.cdf import quantile
+from repro.metrics.seqgraph import step_interpolate
 from repro.units import to_usec
-
-
-def _sample_curve(curve: Tuple[np.ndarray, np.ndarray], points: int) -> List[Tuple[float, float]]:
-    times, values = curve
-    if len(times) == 0:
-        return []
-    idx = np.linspace(0, len(times) - 1, points).astype(int)
-    return [(to_usec(int(times[i])), float(values[i])) for i in idx]
 
 
 def render_series_table(
@@ -31,7 +24,13 @@ def render_series_table(
     points: int = 12,
     include_references: bool = False,
 ) -> str:
-    """One row per sampled time, one column per variant."""
+    """One row per sampled time, one column per variant.
+
+    Rows are anchored to a base time grid (sampled from the first
+    non-empty column) and every other column is step-interpolated onto
+    that grid — columns with different sample times or lengths line up
+    on real timestamps instead of raw row indices.
+    """
     columns: List[Tuple[str, Tuple[np.ndarray, np.ndarray]]] = []
     if include_references and data.optimal is not None:
         columns.append(("optimal", data.optimal))
@@ -40,19 +39,24 @@ def render_series_table(
         columns.append(("packet-only", data.packet_only))
     if not columns:
         return "(no series)"
-    sampled = {name: _sample_curve(curve, points) for name, curve in columns}
+    grid_ns = np.asarray([], dtype=np.int64)
+    for _name, (times, _values) in columns:
+        if len(times) > 0:
+            idx = np.linspace(0, len(times) - 1, points).astype(int)
+            grid_ns = np.asarray(times, dtype=np.int64)[idx]
+            break
+    resampled: Dict[str, np.ndarray] = {}
+    for name, (times, values) in columns:
+        times = np.asarray(times)
+        values = np.asarray(values, dtype=float)
+        initial = float(values[0]) if len(values) else float("nan")
+        resampled[name] = step_interpolate(times, values, grid_ns, initial=initial)
     names = [name for name, _ in columns]
     header = f"{'time(us)':>10} " + " ".join(f"{n:>12}" for n in names)
     lines = [f"[{data.name}] {value_label}", header]
-    base = sampled[names[0]]
-    for row in range(len(base)):
-        t = base[row][0]
-        cells = []
-        for name in names:
-            series = sampled[name]
-            value = series[row][1] * scale if row < len(series) else float("nan")
-            cells.append(f"{value:12.2f}")
-        lines.append(f"{t:10.1f} " + " ".join(cells))
+    for row in range(len(grid_ns)):
+        cells = [f"{resampled[name][row] * scale:12.2f}" for name in names]
+        lines.append(f"{to_usec(int(grid_ns[row])):10.1f} " + " ".join(cells))
     return "\n".join(lines)
 
 

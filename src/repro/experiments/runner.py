@@ -41,6 +41,19 @@ class RunFailure:
             lines.append(f"  repro bundle: {self.bundle_path}")
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        return {
+            "error_type": self.error_type,
+            "error_message": self.error_message,
+            "seed": self.seed,
+            "fault_plan_path": self.fault_plan_path,
+            "bundle_path": self.bundle_path,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunFailure":
+        return cls(**data)
+
 
 @dataclass
 class ExperimentResult:
@@ -96,6 +109,46 @@ class ExperimentResult:
         return throughput_gbps(
             self.aggregate_delivered - warm_bytes, self.duration_ns - warmup_ns
         )
+
+    # ------------------------------------------------------------------
+    # Canonical serialization (executor result cache, worker transport)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready summary carrying every series the figures and
+        sweeps consume. ``from_dict(to_dict(r))`` is value-identical."""
+        return {
+            "config": self.config.to_dict(),
+            "duration_ns": self.duration_ns,
+            "flow_delivered": list(self.flow_delivered),
+            "aggregate_delivered": self.aggregate_delivered,
+            "seq_samples": [[t, v] for t, v in self.seq_samples],
+            "voq_samples": [[t, v] for t, v in self.voq_samples],
+            "voq_max": self.voq_max,
+            "reordering_per_day": list(self.reordering_per_day),
+            "retx_marks_per_day": list(self.retx_marks_per_day),
+            "retransmissions": self.retransmissions,
+            "spurious_retransmissions": self.spurious_retransmissions,
+            "rtos": self.rtos,
+            "fast_recoveries": self.fast_recoveries,
+            "reinjections": self.reinjections,
+            "notification_latencies": list(self.notification_latencies),
+            "artifacts": list(self.artifacts),
+            "profile_report": self.profile_report,
+            "events_per_second": self.events_per_second,
+            "failure": self.failure.to_dict() if self.failure is not None else None,
+            "fault_report": self.fault_report,
+            "audit_report": self.audit_report,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentResult":
+        kwargs = dict(data)
+        kwargs["config"] = ExperimentConfig.from_dict(kwargs["config"])
+        kwargs["seq_samples"] = [(int(t), int(v)) for t, v in kwargs["seq_samples"]]
+        kwargs["voq_samples"] = [(int(t), int(v)) for t, v in kwargs["voq_samples"]]
+        if kwargs.get("failure") is not None:
+            kwargs["failure"] = RunFailure.from_dict(kwargs["failure"])
+        return cls(**kwargs)
 
 
 class _AggregateSeqCollector:
@@ -244,7 +297,13 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         if auditor is not None:
             result.audit_report = auditor.report()
         if telemetry is not None:
+            # Failed runs keep the full telemetry story: artifacts AND
+            # the profile the success path records, so a crash is
+            # debuggable from the same outputs.
             result.artifacts = telemetry.finish()
+            result.profile_report = telemetry.profile_report()
+            if telemetry.profiler is not None:
+                result.events_per_second = telemetry.profiler.events_per_second
         return result
 
     if injector is not None:

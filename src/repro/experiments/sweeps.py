@@ -9,28 +9,42 @@ Two studies the paper explicitly defers:
 * §3.5: "TDTCP is most suitable to operate in networks where the
   periods between TDN changes are 1-100x path RTT." —
   :func:`day_length_sweep` varies the day duration across that band.
+
+Every (setting, variant) point is an independent seeded run, so both
+sweeps execute as one :class:`ExperimentExecutor` batch — pass
+``executor`` to parallelize/cache them. A crashed run is recorded as a
+failed :class:`SweepPoint` (structured failure attached, **no**
+throughput number), never as a silent ~0 Gbps measurement.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import run_experiment
+from repro.experiments.executor import ExperimentExecutor
+from repro.experiments.runner import RunFailure
+from repro.faults.plan import FaultPlan
 from repro.rdcn.config import RDCNConfig
 from repro.units import usec
 
 
 @dataclass
 class SweepPoint:
-    """One (setting, variant) measurement."""
+    """One (setting, variant) measurement. ``failure`` set means the
+    run crashed: there is no throughput to report (NaN placeholder)."""
 
     label: str
     variant: str
     throughput_gbps: float
     retransmissions: int
     rtos: int
+    failure: Optional[RunFailure] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
 
 
 @dataclass
@@ -38,51 +52,102 @@ class SweepResult:
     name: str
     points: List[SweepPoint] = field(default_factory=list)
 
+    @property
+    def failures(self) -> List[SweepPoint]:
+        return [p for p in self.points if not p.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
     def by_label(self) -> Dict[str, Dict[str, float]]:
+        """setting -> variant -> throughput; failed points are left out
+        (their absence, not a zero, marks them)."""
         out: Dict[str, Dict[str, float]] = {}
         for p in self.points:
-            out.setdefault(p.label, {})[p.variant] = p.throughput_gbps
+            out.setdefault(p.label, {})
+            if p.ok:
+                out[p.label][p.variant] = p.throughput_gbps
         return out
 
     def render(self) -> str:
         table = self.by_label()
         variants = sorted({p.variant for p in self.points})
+        failed = {(p.label, p.variant) for p in self.points if not p.ok}
         header = f"{'setting':>14} " + " ".join(f"{v:>10}" for v in variants)
         lines = [f"[{self.name}] steady-state throughput (Gbps)", header]
         for label, row in table.items():
-            cells = " ".join(f"{row.get(v, float('nan')):10.2f}" for v in variants)
-            lines.append(f"{label:>14} {cells}")
+            cells = []
+            for v in variants:
+                if (label, v) in failed:
+                    cells.append(f"{'FAILED':>10}")
+                else:
+                    cells.append(f"{row.get(v, float('nan')):10.2f}")
+            lines.append(f"{label:>14} " + " ".join(cells))
+        for point in self.failures:
+            lines.append(f"  [{point.label}/{point.variant}] {point.failure.render()}")
         return "\n".join(lines)
 
 
-def _run_point(
-    result: SweepResult,
-    label: str,
-    variant: str,
-    rdcn: RDCNConfig,
+def _run_sweep(
+    name: str,
+    grid: List[Tuple[str, str, RDCNConfig]],
     weeks: int,
     warmup_weeks: int,
     n_flows: int,
     seed: int,
-) -> None:
-    cfg = ExperimentConfig(
-        variant=variant,
-        rdcn=rdcn,
-        n_flows=n_flows,
-        weeks=weeks,
-        warmup_weeks=warmup_weeks,
-        seed=seed,
-    )
-    run = run_experiment(cfg)
-    result.points.append(
-        SweepPoint(
-            label=label,
+    executor: Optional[ExperimentExecutor],
+    fault_plan: Optional[FaultPlan],
+    watchdog_max_events: Optional[int],
+    watchdog_max_wall_s: Optional[float],
+) -> SweepResult:
+    """Run every (label, variant, rdcn) point as one executor batch and
+    assemble the result in grid order."""
+    configs = [
+        ExperimentConfig(
             variant=variant,
-            throughput_gbps=run.steady_state_throughput_gbps(),
-            retransmissions=run.retransmissions,
-            rtos=run.rtos,
+            rdcn=rdcn,
+            n_flows=n_flows,
+            weeks=weeks,
+            warmup_weeks=warmup_weeks,
+            seed=seed,
+            fault_plan=fault_plan,
+            watchdog_max_events=watchdog_max_events,
+            watchdog_max_wall_s=watchdog_max_wall_s,
         )
+        for _label, variant, rdcn in grid
+    ]
+    if executor is None:
+        executor = ExperimentExecutor()
+    runs = executor.run_batch(
+        configs, labels=[f"{name}/{label}/{variant}" for label, variant, _ in grid]
     )
+    result = SweepResult(name=name)
+    for (label, variant, _rdcn), run in zip(grid, runs):
+        if not run.ok:
+            # A crashed run must surface as a failure, never as a
+            # zero-throughput measurement.
+            result.points.append(
+                SweepPoint(
+                    label=label,
+                    variant=variant,
+                    throughput_gbps=float("nan"),
+                    retransmissions=0,
+                    rtos=0,
+                    failure=run.failure,
+                )
+            )
+            continue
+        result.points.append(
+            SweepPoint(
+                label=label,
+                variant=variant,
+                throughput_gbps=run.steady_state_throughput_gbps(),
+                retransmissions=run.retransmissions,
+                rtos=run.rtos,
+            )
+        )
+    return result
 
 
 def duty_ratio_sweep(
@@ -92,20 +157,27 @@ def duty_ratio_sweep(
     warmup_weeks: int = 8,
     n_flows: int = 8,
     seed: int = 1,
+    executor: Optional[ExperimentExecutor] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    watchdog_max_events: Optional[int] = None,
+    watchdog_max_wall_s: Optional[float] = None,
 ) -> SweepResult:
     """Vary the packet:optical ratio (the paper's future work).
 
     ``packet_days=n`` gives an ``n:1`` schedule — the projection of an
     ``n+2``-rack rotor fabric.
     """
-    result = SweepResult(name="duty-ratio-sweep")
     base = RDCNConfig()
+    grid: List[Tuple[str, str, RDCNConfig]] = []
     for n_packet in packet_days:
         pattern = tuple([0] * n_packet + [1])
         rdcn = replace(base, schedule_pattern=pattern)
         for variant in variants:
-            _run_point(result, f"{n_packet}:1", variant, rdcn, weeks, warmup_weeks, n_flows, seed)
-    return result
+            grid.append((f"{n_packet}:1", variant, rdcn))
+    return _run_sweep(
+        "duty-ratio-sweep", grid, weeks, warmup_weeks, n_flows, seed,
+        executor, fault_plan, watchdog_max_events, watchdog_max_wall_s,
+    )
 
 
 def day_length_sweep(
@@ -115,16 +187,23 @@ def day_length_sweep(
     warmup_weeks: int = 8,
     n_flows: int = 8,
     seed: int = 1,
+    executor: Optional[ExperimentExecutor] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    watchdog_max_events: Optional[int] = None,
+    watchdog_max_wall_s: Optional[float] = None,
 ) -> SweepResult:
     """Vary the day duration across the §3.5 operating band.
 
     The packet RTT is ~100 us, so 60/180/1000 us days correspond to
     roughly 0.6x / 2x / 10x RTT per configuration.
     """
-    result = SweepResult(name="day-length-sweep")
     base = RDCNConfig()
+    grid: List[Tuple[str, str, RDCNConfig]] = []
     for day_us in day_us_values:
         rdcn = replace(base, day_ns=usec(day_us))
         for variant in variants:
-            _run_point(result, f"{day_us}us", variant, rdcn, weeks, warmup_weeks, n_flows, seed)
-    return result
+            grid.append((f"{day_us}us", variant, rdcn))
+    return _run_sweep(
+        "day-length-sweep", grid, weeks, warmup_weeks, n_flows, seed,
+        executor, fault_plan, watchdog_max_events, watchdog_max_wall_s,
+    )

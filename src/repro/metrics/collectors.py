@@ -28,7 +28,10 @@ class QueueOccupancyCollector:
     def __init__(self, sim: Simulator, queue: DropTailQueue):
         self.sim = sim
         self.queue = queue
-        self.samples: List[Tuple[int, int]] = [(0, len(queue))]
+        # Anchor the step series at the attach time, not time 0: a
+        # collector attached mid-run (deferred executor attach) must not
+        # claim the queue held its current length since the epoch.
+        self.samples: List[Tuple[int, int]] = [(sim.now, len(queue))]
         queue.subscribe_length(self._on_change)
 
     def _on_change(self, length: int) -> None:

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import json
 import pathlib
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 from typing import Any, List, Optional
 
 from repro.obs.exporters import (
@@ -66,6 +66,18 @@ class ObsConfig:
     def for_run(self, label: str) -> "ObsConfig":
         """Copy with a run-specific artifact label (figure_variant)."""
         return replace(self, label=label)
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-ready view (every field, declaration order)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ObsConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown ObsConfig fields {sorted(unknown)}")
+        return cls(**data)
 
 
 class Telemetry:

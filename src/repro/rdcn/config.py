@@ -8,7 +8,7 @@ schedule, 16-packet VOQs, and jumbo frames.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Tuple
 
 from repro.units import gbps, usec
@@ -69,6 +69,18 @@ class NotifierConfig:
     def unoptimized(cls) -> "NotifierConfig":
         """The configuration the 'unoptimized' TDTCP branch runs with."""
         return cls(packet_caching=False, pull_model=False, dedicated_network=False)
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-ready view (every field, declaration order)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NotifierConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown NotifierConfig fields {sorted(unknown)}")
+        return cls(**data)
 
 
 @dataclass
@@ -144,3 +156,29 @@ class RDCNConfig:
 
     def tdn_one_way_ns(self, tdn_id: int) -> int:
         return self.packet_one_way_ns if tdn_id == 0 else self.optical_one_way_ns
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-ready view; tuples become lists, the nested
+        notifier its own dict."""
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "notifier":
+                value = value.to_dict()
+            elif isinstance(value, tuple):
+                value = list(value)
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RDCNConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown RDCNConfig fields {sorted(unknown)}")
+        kwargs = dict(data)
+        if "schedule_pattern" in kwargs:
+            kwargs["schedule_pattern"] = tuple(kwargs["schedule_pattern"])
+        if "notifier" in kwargs:
+            kwargs["notifier"] = NotifierConfig.from_dict(kwargs["notifier"])
+        return cls(**kwargs)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 from repro.units import msec
 
@@ -52,3 +52,15 @@ class TCPConfig:
             raise ValueError("invalid RTO bounds")
         if self.dupthresh < 1:
             raise ValueError("dupthresh must be >= 1")
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-ready view (every field, declaration order)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TCPConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown TCPConfig fields {sorted(unknown)}")
+        return cls(**data)

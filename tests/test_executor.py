@@ -1,0 +1,353 @@
+"""Parallel experiment executor: serialization round trips, cache
+behavior, retry policy, parallel-vs-sequential equivalence, and the
+failure-surfacing regressions (silent sweeps, crash-path telemetry,
+mid-run collector attach, report resampling)."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import executor as executor_mod
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.executor import (
+    BatchStats,
+    ExperimentExecutor,
+    ResultCache,
+)
+from repro.experiments.figures import FigureData, fig2
+from repro.experiments.report import render_series_table
+from repro.experiments.runner import ExperimentResult, RunFailure, run_experiment
+from repro.experiments.sweeps import day_length_sweep
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.metrics.collectors import QueueOccupancyCollector
+from repro.net.queues import DropTailQueue
+from repro.obs.telemetry import ObsConfig
+from repro.rdcn.config import RDCNConfig
+from repro.sim.simulator import Simulator
+
+SMALL = dict(weeks=4, warmup_weeks=1, n_flows=2)
+
+
+def small_config(**overrides):
+    kwargs = dict(variant="cubic", weeks=4, warmup_weeks=1, n_flows=2, seed=1)
+    kwargs.update(overrides)
+    return ExperimentConfig(**kwargs)
+
+
+def flap_plan():
+    return FaultPlan(
+        specs=[FaultSpec(kind="link_flap", target="uplink-*", at_ns=1_000,
+                         params={"down_ns": 500.0})],
+        name="flap",
+    )
+
+
+def ok_result_dict(config: ExperimentConfig) -> dict:
+    result = ExperimentResult(config=config, duration_ns=config.duration_ns)
+    result.aggregate_delivered = 123
+    return result.to_dict()
+
+
+def failed_result_dict(config: ExperimentConfig) -> dict:
+    result = ExperimentResult(config=config, duration_ns=config.duration_ns)
+    result.failure = RunFailure("Boom", "synthetic crash", config.seed, None, None)
+    return result.to_dict()
+
+
+class TestConfigSerialization:
+    def test_round_trip_with_fault_plan(self):
+        config = small_config(variant="tdtcp", fault_plan=flap_plan(),
+                              background_load=0.1, audit="warn")
+        blob = json.dumps(config.to_dict(), sort_keys=True)
+        restored = ExperimentConfig.from_dict(json.loads(blob))
+        assert restored == config
+        assert restored.cache_key() == config.cache_key()
+        assert restored.fault_plan == config.fault_plan
+
+    def test_round_trip_with_obs(self):
+        config = small_config(obs=ObsConfig(trace_dir="out", label="x"))
+        restored = ExperimentConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+        assert restored == config
+
+    def test_cache_key_ignores_non_semantic_fields(self):
+        base = small_config()
+        assert small_config(bundle_dir="elsewhere").cache_key() == base.cache_key()
+        assert small_config(obs=ObsConfig(trace_dir="out")).cache_key() == base.cache_key()
+
+    def test_cache_key_tracks_semantic_fields(self):
+        base = small_config()
+        assert small_config(seed=2).cache_key() != base.cache_key()
+        assert small_config(variant="tdtcp").cache_key() != base.cache_key()
+        assert small_config(fault_plan=flap_plan()).cache_key() != base.cache_key()
+        assert small_config(weeks=5).cache_key() != base.cache_key()
+
+    def test_cache_key_stable_across_processes(self):
+        # sha256 of canonical JSON — no PYTHONHASHSEED dependence.
+        config = small_config(fault_plan=flap_plan())
+        rebuilt = ExperimentConfig.from_dict(config.to_dict())
+        assert rebuilt.cache_key() == config.cache_key()
+        assert len(config.cache_key()) == 64
+
+    def test_from_dict_rejects_unknown_fields(self):
+        data = small_config().to_dict()
+        data["not_a_field"] = 1
+        with pytest.raises(ValueError, match="not_a_field"):
+            ExperimentConfig.from_dict(data)
+
+
+class TestResultSerialization:
+    def test_round_trip_preserves_everything(self):
+        result = run_experiment(small_config())
+        restored = ExperimentResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert restored.to_dict() == result.to_dict()
+        assert restored.seq_samples == result.seq_samples
+        assert isinstance(restored.seq_samples[0], tuple)
+        assert restored.steady_state_throughput_gbps() == pytest.approx(
+            result.steady_state_throughput_gbps()
+        )
+
+    def test_failure_round_trip(self):
+        config = small_config()
+        result = ExperimentResult(config=config, duration_ns=config.duration_ns)
+        result.failure = RunFailure("WatchdogExceeded", "budget", 1, None, "b/path")
+        restored = ExperimentResult.from_dict(result.to_dict())
+        assert not restored.ok
+        assert restored.failure == result.failure
+
+
+class TestCache:
+    def test_warm_cache_short_circuits_execution(self, tmp_path, monkeypatch):
+        config = small_config()
+        first = ExperimentExecutor(cache_dir=str(tmp_path))
+        [result] = first.run_batch([config])
+        assert result.ok
+        assert first.last_batch.executed == 1
+        assert first.last_batch.cache_misses == 1
+
+        def boom(_config):
+            raise AssertionError("cache hit must not re-execute the simulation")
+
+        monkeypatch.setattr(executor_mod, "run_experiment", boom)
+        second = ExperimentExecutor(cache_dir=str(tmp_path))
+        [cached] = second.run_batch([config])
+        assert second.last_batch.cache_hits == 1
+        assert second.last_batch.executed == 0
+        assert second.metrics.get("executor_cache_hits_total").total() == 1
+        assert cached.to_dict() == result.to_dict()
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        config = small_config()
+        cache = ResultCache(str(tmp_path))
+        key = config.cache_key()
+        cache.path_for(key).parent.mkdir(parents=True)
+        cache.path_for(key).write_text("{not json")
+        assert cache.get(key) is None
+
+    def test_failed_results_are_not_cached(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # repro bundles land under cwd
+        config = small_config(watchdog_max_events=500)
+        for _round in range(2):
+            ex = ExperimentExecutor(cache_dir=str(tmp_path / "cache"), retries=0)
+            [result] = ex.run_batch([config])
+            assert not result.ok
+            assert ex.last_batch.cache_hits == 0
+            assert ex.last_batch.executed == 1
+
+    def test_active_obs_bypasses_cache(self, tmp_path):
+        config = small_config(obs=ObsConfig(trace_dir=str(tmp_path / "trace"),
+                                            chrome_trace=False, csv=False))
+        ex = ExperimentExecutor(cache_dir=str(tmp_path / "cache"))
+        ex.run_batch([config])
+        ex2 = ExperimentExecutor(cache_dir=str(tmp_path / "cache"))
+        [again] = ex2.run_batch([config])
+        assert ex2.last_batch.cache_hits == 0
+        assert ex2.last_batch.executed == 1
+        assert again.artifacts  # telemetry really ran
+
+    def test_use_cache_false_disables_cache(self, tmp_path):
+        config = small_config()
+        ex = ExperimentExecutor(cache_dir=str(tmp_path), use_cache=False)
+        ex.run_batch([config])
+        ex.run_batch([config])
+        assert ex.last_batch.cache_hits == 0
+        assert not list(tmp_path.rglob("*.json"))
+
+
+class TestRetryPolicy:
+    def test_retry_then_succeed(self, monkeypatch):
+        calls = []
+
+        def flaky(payload):
+            calls.append(1)
+            config = ExperimentConfig.from_dict(payload)
+            if len(calls) == 1:
+                return failed_result_dict(config)
+            return ok_result_dict(config)
+
+        monkeypatch.setattr(executor_mod, "execute_config_dict", flaky)
+        ex = ExperimentExecutor(retries=1)
+        [result] = ex.run_batch([small_config()])
+        assert result.ok
+        assert len(calls) == 2
+        assert ex.last_batch.retries == 1
+        assert ex.last_batch.failures == 0
+        assert ex.metrics.get("executor_retries_total").total() == 1
+        assert ex.metrics.get("executor_runs_total").value(outcome="ok") == 1
+
+    def test_retry_exhausted_surfaces_failure(self, monkeypatch):
+        calls = []
+
+        def always_fails(payload):
+            calls.append(1)
+            return failed_result_dict(ExperimentConfig.from_dict(payload))
+
+        monkeypatch.setattr(executor_mod, "execute_config_dict", always_fails)
+        ex = ExperimentExecutor(retries=2)
+        [result] = ex.run_batch([small_config()])
+        assert not result.ok
+        assert result.failure.error_type == "Boom"
+        assert len(calls) == 3  # initial + 2 retries
+        assert ex.last_batch.retries == 2
+        assert ex.last_batch.failures == 1
+        assert ex.metrics.get("executor_runs_total").value(outcome="failed") == 1
+
+    def test_transport_crash_becomes_structured_failure(self, monkeypatch):
+        def explodes(payload):
+            raise OSError("worker transport broke")
+
+        monkeypatch.setattr(executor_mod, "execute_config_dict", explodes)
+        ex = ExperimentExecutor(retries=0)
+        [result] = ex.run_batch([small_config()])
+        assert not result.ok
+        assert result.failure.error_type == "OSError"
+
+
+class TestParallelEquivalence:
+    def test_fig2_jobs2_value_identical_to_sequential(self):
+        sequential = fig2(**SMALL)
+        parallel = fig2(**SMALL, executor=ExperimentExecutor(jobs=2))
+        assert parallel.throughputs_gbps == sequential.throughputs_gbps
+        assert set(parallel.seq_curves) == set(sequential.seq_curves)
+        for variant in sequential.seq_curves:
+            for attr in ("seq_curves", "voq_curves"):
+                seq_t, seq_v = getattr(sequential, attr)[variant]
+                par_t, par_v = getattr(parallel, attr)[variant]
+                assert np.array_equal(seq_t, par_t), f"{attr}/{variant} times differ"
+                assert np.array_equal(seq_v, par_v), f"{attr}/{variant} values differ"
+        assert np.array_equal(parallel.optimal[1], sequential.optimal[1])
+        assert np.array_equal(parallel.packet_only[1], sequential.packet_only[1])
+
+    def test_batch_results_in_input_order(self, monkeypatch):
+        # Labels come back positionally even though the pool finishes
+        # out of order; with the inline path this checks the assembly
+        # indexing directly.
+        seeds = [5, 3, 9]
+        ex = ExperimentExecutor()
+        results = ex.run_batch([small_config(seed=s) for s in seeds])
+        assert [r.config.seed for r in results] == seeds
+
+
+class TestFigureDegradation:
+    def test_failed_variant_does_not_abort_figure(self, monkeypatch, tmp_path):
+        monkeypatch.chdir(tmp_path)
+        real = executor_mod.run_experiment
+
+        def selective(config):
+            if config.variant == "mptcp":
+                result = ExperimentResult(config=config, duration_ns=config.duration_ns)
+                result.failure = RunFailure("Boom", "mptcp down", config.seed, None, None)
+                return result
+            return real(config)
+
+        monkeypatch.setattr(executor_mod, "run_experiment", selective)
+        data = fig2(**SMALL, executor=ExperimentExecutor(retries=0))
+        assert not data.ok
+        assert set(data.failures) == {"mptcp"}
+        assert data.failures["mptcp"].error_type == "Boom"
+        assert "cubic" in data.throughputs_gbps
+        assert "mptcp" not in data.throughputs_gbps
+
+
+class TestSweepFailureSurfacing:
+    def test_crashed_run_is_a_failure_not_zero_throughput(self, monkeypatch, tmp_path):
+        monkeypatch.chdir(tmp_path)  # repro bundles land under cwd
+        result = day_length_sweep(
+            day_us_values=(180,), variants=("cubic",),
+            weeks=4, warmup_weeks=1, n_flows=2,
+            watchdog_max_events=500,
+            executor=ExperimentExecutor(retries=0),
+        )
+        assert not result.ok
+        [point] = result.points
+        assert point.failure is not None
+        assert math.isnan(point.throughput_gbps)
+        assert "cubic" not in result.by_label()["180us"]
+        rendered = result.render()
+        assert "FAILED" in rendered
+        assert "WatchdogExceeded" in rendered
+
+    def test_clean_sweep_unchanged(self):
+        result = day_length_sweep(
+            day_us_values=(180,), variants=("cubic",),
+            weeks=4, warmup_weeks=1, n_flows=2,
+        )
+        assert result.ok
+        assert result.points[0].throughput_gbps > 0
+        assert "FAILED" not in result.render()
+
+
+class TestRunnerCrashTelemetry:
+    def test_crash_path_populates_profile(self, tmp_path):
+        config = small_config(
+            obs=ObsConfig(profile=True, metrics_dir=str(tmp_path / "m")),
+            watchdog_max_events=500,
+            bundle_dir=str(tmp_path / "bundles"),
+        )
+        result = run_experiment(config)
+        assert not result.ok
+        assert result.profile_report is not None
+        assert result.events_per_second is not None
+        assert result.artifacts
+
+
+class TestCollectorMidRunAttach:
+    def test_initial_sample_uses_sim_now(self):
+        sim = Simulator()
+        sim.now = 777
+        queue = DropTailQueue(4)
+        collector = QueueOccupancyCollector(sim, queue)
+        assert collector.samples[0] == (777, 0)
+
+
+class TestSeriesTableResampling:
+    def test_columns_resampled_onto_base_grid(self):
+        data = FigureData(name="x", rdcn=RDCNConfig(), weeks_plotted=1)
+        fine = (np.array([0, 1_000, 2_000, 3_000]), np.array([0.0, 1.0, 2.0, 3.0]))
+        coarse = (np.array([0, 3_000]), np.array([0.0, 30.0]))
+        text = render_series_table(
+            data, {"a_fine": fine, "coarse": coarse}, "v", points=4
+        )
+        lines = text.splitlines()
+        rows = [[float(cell) for cell in line.split()] for line in lines[2:]]
+        # Base grid = the first (sorted) column's sampled times, in us;
+        # the coarse column holds its previous value until its own next
+        # sample instead of being padded by row index.
+        assert [r[0] for r in rows] == [0.0, 1.0, 2.0, 3.0]
+        assert [r[1] for r in rows] == [0.0, 1.0, 2.0, 3.0]   # a_fine (base)
+        assert [r[2] for r in rows] == [0.0, 0.0, 0.0, 30.0]  # coarse, resampled
+
+    def test_empty_base_column_falls_back(self):
+        data = FigureData(name="x", rdcn=RDCNConfig(), weeks_plotted=1)
+        empty = (np.array([]), np.array([]))
+        series = (np.array([0, 100]), np.array([1.0, 2.0]))
+        text = render_series_table(data, {"a": empty, "b": series}, "v", points=2)
+        assert "2.00" in text  # grid came from the non-empty column
+
+
+class TestBatchStats:
+    def test_render(self):
+        stats = BatchStats(total=4, executed=2, cache_hits=2, retries=1, failures=1)
+        text = stats.render()
+        assert "4 runs" in text and "2 cache hits" in text and "1 retries" in text

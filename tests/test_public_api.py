@@ -83,6 +83,7 @@ MODULES = [
     "repro.experiments.config",
     "repro.experiments.variants",
     "repro.experiments.runner",
+    "repro.experiments.executor",
     "repro.experiments.figures",
     "repro.experiments.report",
     "repro.experiments.sweeps",
