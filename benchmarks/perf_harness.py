@@ -3,11 +3,20 @@
 
 Runs three fixed seeded workloads and one per-ACK micro-benchmark,
 emits ``BENCH_simcore.json`` (events/s, ns/ACK, peak RSS, trace
-digests), and — given a committed baseline — verifies that
+digests, per-workload allocation/event-core stats), and — given a
+committed baseline — verifies that
 
 * the JSONL telemetry trace of every workload is **byte-identical** to
   the baseline's (a perf change must not change any simulation result),
-* events/s has not regressed by more than ``--tolerance`` (default 20%).
+* events/s has not regressed by more than ``--tolerance`` (default 20%),
+* the deterministic event-core counters still match: ``heap_pushes``
+  per workload is pinned to the baseline exactly, and the event-pool
+  hit rate stays at or above ``--pool-hit-floor`` (when given).
+
+Each workload is run twice: a timed pass (events/s + deterministic
+event-core counters) and an untimed allocation pass under
+``tracemalloc`` (peak traced memory + gc collection counts), so the
+allocation probe never skews the timing numbers.
 
 Workloads (all seeded, all deterministic):
 
@@ -26,7 +35,9 @@ Usage::
 
 Exit codes: 0 ok, 1 events/s regression beyond tolerance, 2 trace
 divergence (simulation behavior changed — never acceptable for a perf
-PR), 3 baseline/mode mismatch.
+PR), 3 baseline/mode mismatch, 4 event-core counter regression
+(heap-push count drifted from the pinned baseline value, or the pool
+hit rate fell below the floor).
 
 The JSON schema is documented in ``docs/performance.md``.
 """
@@ -62,8 +73,13 @@ from repro.rdcn.topology import build_two_rack_testbed  # noqa: E402
 from repro.sim.simulator import Simulator  # noqa: E402
 from repro.units import usec  # noqa: E402
 
-SCHEMA = "bench-simcore/1"
+SCHEMA = "bench-simcore/2"
+# v1 baselines (pre event-core counters) still gate traces + events/s;
+# the counter gates simply skip fields the baseline doesn't have.
+ACCEPTED_BASELINE_SCHEMAS = ("bench-simcore/1", "bench-simcore/2")
 DEFAULT_OUT = REPO_ROOT / "benchmarks" / "results" / "BENCH_simcore.json"
+# Repo-root copy refreshed on full runs: the top-level perf trajectory.
+ROOT_OUT = REPO_ROOT / "BENCH_simcore.json"
 
 # Workload scales. "full" is the committed reference; "quick" is sized
 # for CI (same mechanisms, smaller horizon — digests differ by design,
@@ -93,6 +109,42 @@ def _trace_digest(telemetry: Telemetry) -> dict:
     return {
         "trace_sha256": hashlib.sha256(data).hexdigest(),
         "trace_lines": data.count(b"\n"),
+    }
+
+
+def _event_core_fields(sim: Simulator) -> dict:
+    """Deterministic event-core counters from the timed pass. Same
+    seed + same code -> same values, so CI can pin them exactly."""
+    stats = sim._queue.stats()
+    return {
+        "heap_pushes": stats["heap_pushes"],
+        "max_heap_len": stats["max_heap_len"],
+        "pool_hits": stats["pool_hits"],
+        "pool_misses": stats["pool_misses"],
+        "pool_hit_rate": stats["pool_hit_rate"],
+        "legacy_heap": stats["legacy_heap"],
+    }
+
+
+def _alloc_pass(runner, scale: dict) -> dict:
+    """Re-run a workload untimed under tracemalloc: peak traced
+    allocation and gc collection counts, without polluting events/s."""
+    import gc
+    import tracemalloc
+
+    gc.collect()
+    collections_before = sum(s["collections"] for s in gc.get_stats())
+    tracemalloc.start()
+    try:
+        with tempfile.TemporaryDirectory(prefix="bench-alloc-") as tmp:
+            runner(scale, pathlib.Path(tmp))
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    collections_after = sum(s["collections"] for s in gc.get_stats())
+    return {
+        "tracemalloc_peak_kb": round(peak / 1024, 1),
+        "gc_collections": collections_after - collections_before,
     }
 
 
@@ -126,6 +178,7 @@ def run_bulk(scale: dict, trace_dir: pathlib.Path) -> dict:
         "wall_s": round(wall_s, 4),
         "events_per_sec": round(sim.processed_events / wall_s, 1),
         "delivered_bytes": workload.total_delivered_bytes,
+        "alloc": _event_core_fields(sim),
     }
     row.update(_trace_digest(telemetry))
     return row
@@ -152,6 +205,7 @@ def run_incast_workload(scale: dict, trace_dir: pathlib.Path) -> dict:
         "wall_s": round(wall_s, 4),
         "events_per_sec": round(sim.processed_events / wall_s, 1),
         "completed_rounds": len(coordinator.stats.completed),
+        "alloc": _event_core_fields(sim),
     }
     row.update(_trace_digest(telemetry))
     return row
@@ -176,6 +230,7 @@ def run_shortflow_workload(scale: dict, trace_dir: pathlib.Path) -> dict:
         "wall_s": round(wall_s, 4),
         "events_per_sec": round(sim.processed_events / wall_s, 1),
         "completed_flows": len(stats.completed),
+        "alloc": _event_core_fields(sim),
     }
     row.update(_trace_digest(telemetry))
     return row
@@ -245,6 +300,18 @@ def run_all(mode: str) -> dict:
                 f" (trace {row['trace_sha256'][:12]}..., {row['trace_lines']} lines)",
                 flush=True,
             )
+            row["alloc"].update(_alloc_pass(runner, scale))
+            alloc = row["alloc"]
+            hit_rate = alloc["pool_hit_rate"]
+            print(
+                f"[perf-harness]   alloc: {alloc['tracemalloc_peak_kb']:,.0f} KB peak,"
+                f" {alloc['gc_collections']} gc collections,"
+                f" {alloc['heap_pushes']:,} heap pushes"
+                f" (peak heap {alloc['max_heap_len']}),"
+                f" pool hit rate "
+                + (f"{hit_rate:.2%}" if hit_rate is not None else "n/a"),
+                flush=True,
+            )
     print("[perf-harness] running ack-pipeline micro...", flush=True)
     report["ack_pipeline"] = run_ack_micro(scale)
     micro = report["ack_pipeline"]
@@ -254,11 +321,13 @@ def run_all(mode: str) -> dict:
     return report
 
 
-def compare(report: dict, baseline: dict, tolerance: float) -> int:
+def compare(report: dict, baseline: dict, tolerance: float,
+            pool_hit_floor: float = None) -> int:
     """Gate the fresh report against a committed baseline. Returns an
     exit code (0 ok / 1 perf regression / 2 trace divergence / 3 bad
-    baseline)."""
-    if baseline.get("schema") != SCHEMA or baseline.get("mode") != report["mode"]:
+    baseline / 4 event-core counter regression)."""
+    if (baseline.get("schema") not in ACCEPTED_BASELINE_SCHEMAS
+            or baseline.get("mode") != report["mode"]):
         print(
             f"[perf-harness] FAIL: baseline schema/mode mismatch "
             f"(baseline {baseline.get('schema')}/{baseline.get('mode')}, "
@@ -290,6 +359,37 @@ def compare(report: dict, baseline: dict, tolerance: float) -> int:
                 file=sys.stderr,
             )
             status = 1
+        # Counter gates (v2 baselines only). heap_pushes is a pinned
+        # deterministic value: a drift means scheduling changed — either
+        # a real bug or a deliberate change that must also regenerate
+        # the baseline. Only comparable when both runs used the same
+        # heap mode (the legacy escape hatch changes the count).
+        fresh_alloc = fresh.get("alloc", {})
+        base_alloc = base.get("alloc", {}) if isinstance(base.get("alloc"), dict) else {}
+        if (base_alloc.get("heap_pushes") is not None
+                and fresh_alloc.get("heap_pushes") is not None
+                and base_alloc.get("legacy_heap") == fresh_alloc.get("legacy_heap")
+                and fresh_alloc["heap_pushes"] != base_alloc["heap_pushes"]):
+            print(
+                f"[perf-harness] FAIL: {name} heap_pushes drifted from pinned "
+                f"baseline ({fresh_alloc['heap_pushes']:,} vs "
+                f"{base_alloc['heap_pushes']:,})",
+                file=sys.stderr,
+            )
+            if status == 0:
+                status = 4
+        if (pool_hit_floor is not None
+                and fresh_alloc.get("pool_hit_rate") is not None
+                and not fresh_alloc.get("legacy_heap")
+                and fresh_alloc["pool_hit_rate"] < pool_hit_floor):
+            print(
+                f"[perf-harness] FAIL: {name} pool hit rate "
+                f"{fresh_alloc['pool_hit_rate']:.2%} below floor "
+                f"{pool_hit_floor:.2%}",
+                file=sys.stderr,
+            )
+            if status == 0:
+                status = 4
     base_micro = baseline.get("ack_pipeline", {})
     if base_micro.get("ns_per_ack") and report["ack_pipeline"]["ns_per_ack"]:
         comparison["ns_per_ack_ratio"] = round(
@@ -297,7 +397,10 @@ def compare(report: dict, baseline: dict, tolerance: float) -> int:
         )
     report["baseline"] = comparison
     if status == 0:
-        print("[perf-harness] baseline check ok: traces identical, no events/s regression")
+        print(
+            "[perf-harness] baseline check ok: traces identical, no events/s "
+            "regression, event-core counters within gates"
+        )
     return status
 
 
@@ -310,17 +413,23 @@ def main(argv=None) -> int:
                         help="committed BENCH_simcore.json to gate against")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="max events/s regression vs baseline (default 0.20)")
+    parser.add_argument("--pool-hit-floor", type=float, default=None,
+                        help="fail if any workload's event-pool hit rate is "
+                             "below this fraction (default: no floor)")
     args = parser.parse_args(argv)
 
     report = run_all("quick" if args.quick else "full")
     status = 0
     if args.baseline is not None:
         baseline = json.loads(args.baseline.read_text())
-        status = compare(report, baseline, args.tolerance)
+        status = compare(report, baseline, args.tolerance, args.pool_hit_floor)
 
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"[perf-harness] wrote {args.out}")
+    if report["mode"] == "full":
+        ROOT_OUT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"[perf-harness] refreshed {ROOT_OUT}")
     return status
 
 

@@ -4,20 +4,29 @@ A :class:`Link` is unidirectional: it serializes packets one at a time at
 ``rate_bps``, then delivers them ``prop_delay_ns`` later to a handler.
 An optional bounded FIFO absorbs bursts; when it overflows, packets are
 dropped (and flagged, so loss accounting sees ground truth).
+
+Scheduling uses the event core's pooled primitives instead of fresh
+allocations into the global heap (see :mod:`repro.sim.events`):
+
+* serialization (``_tx_done``) events go through the event free-list
+  pool (``EventQueue.push_pooled``) — the link serializes one packet
+  at a time, so there is never more than one pending and a channel
+  deque would always be empty;
+* arrivals ride the ``prop`` :class:`~repro.sim.events.Channel` — the
+  propagation pipe. Departures happen at monotonically increasing
+  times and the propagation delay is a per-link constant, so arrivals
+  are FIFO: every packet in flight on the wire waits in the channel's
+  local deque, and only the next arrival occupies a global heap slot.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from heapq import heappush as _heappush
 from typing import Callable, Optional
 
 from repro.net.packet import Packet
-from repro.sim.events import Event
 from repro.sim.simulator import Simulator
 from repro.units import serialization_delay_ns
-
-_new_event = object.__new__
 
 
 class Link:
@@ -62,6 +71,7 @@ class Link:
         # from a handful of fixed values (MSS + header combinations), so
         # the float division/round is paid once per distinct size.
         self._tx_delay_cache: dict = {}
+        self._prop_channel = sim.channel(f"{name}:prop")
 
     def __len__(self) -> int:
         return len(self._fifo)
@@ -94,19 +104,7 @@ class Link:
         self.tx_packets += 1
         self.tx_bytes += size
         sim = self.sim
-        queue = sim._queue
-        time = sim.now + tx_delay
-        seq = queue._seq
-        event = _new_event(Event)
-        event.time = time
-        event.seq = seq
-        event.fn = self._tx_done
-        event.args = (packet,)
-        event.cancelled = False
-        event._queue = queue
-        queue._seq = seq + 1
-        _heappush(queue._heap, (time, seq, event))
-        queue._live += 1
+        sim._queue.push_pooled(sim.now + tx_delay, self._tx_done, (packet,))
         return True
 
     def backlog_ns(self) -> int:
@@ -128,23 +126,11 @@ class Link:
             self._tx_delay_cache[size] = tx_delay
         self.tx_packets += 1
         self.tx_bytes += size
-        # Inlined Simulator.schedule (same layout): links schedule two
-        # events per forwarded packet, the busiest schedule sites in the
-        # whole simulator.
+        # Links schedule two events per forwarded packet — the busiest
+        # schedule sites in the whole simulator. Serialization timers
+        # are pooled one-shots (never more than one pending per link).
         sim = self.sim
-        queue = sim._queue
-        time = sim.now + tx_delay
-        seq = queue._seq
-        event = _new_event(Event)
-        event.time = time
-        event.seq = seq
-        event.fn = self._tx_done
-        event.args = (packet,)
-        event.cancelled = False
-        event._queue = queue
-        queue._seq = seq + 1
-        _heappush(queue._heap, (time, seq, event))
-        queue._live += 1
+        sim._queue.push_pooled(sim.now + tx_delay, self._tx_done, (packet,))
 
     def _tx_done(self, packet: Packet) -> None:
         if self.down:
@@ -157,20 +143,9 @@ class Link:
             else:
                 self._busy = False
             return
-        sim = self.sim
-        queue = sim._queue
-        time = sim.now + self.prop_delay_ns
-        seq = queue._seq
-        event = _new_event(Event)
-        event.time = time
-        event.seq = seq
-        event.fn = self.deliver
-        event.args = (packet,)
-        event.cancelled = False
-        event._queue = queue
-        queue._seq = seq + 1
-        _heappush(queue._heap, (time, seq, event))
-        queue._live += 1
+        self._prop_channel.push(
+            self.sim.now + self.prop_delay_ns, self.deliver, (packet,)
+        )
         # _start_next's empty-FIFO early-out inlined: most _tx_done
         # calls find nothing else queued.
         if self._fifo:

@@ -31,6 +31,17 @@ class DropTailQueue:
     # True so the base push() skips a no-op method call per enqueue.
     _marks = False
 
+    # Slots: a two-rack testbed carries one VOQ per (ToR, remote rack)
+    # pair plus per-host access queues, and sweep/executor runs build
+    # thousands of testbeds — keeping these off the instance-dict path
+    # also makes every attribute read in the inlined fabric drain a
+    # slot load.
+    __slots__ = (
+        "capacity", "name", "_fifo", "drops", "enqueued", "max_occupancy",
+        "on_length_change", "_length_listeners", "_drop_listeners",
+        "_pre_squeeze_capacity",
+    )
+
     def __init__(self, capacity: int, name: str = "queue"):
         if capacity <= 0:
             raise ValueError("queue capacity must be positive")
@@ -147,6 +158,8 @@ class ECNMarkingQueue(DropTailQueue):
     instantaneous occupancy is at or above threshold K (DCTCP-style)."""
 
     _marks = True
+
+    __slots__ = ("mark_threshold", "marks")
 
     def __init__(self, capacity: int, mark_threshold: int, name: str = "ecn-queue"):
         super().__init__(capacity, name)

@@ -27,6 +27,10 @@ class SimulatorProfiler:
         self.run_wall_s = 0.0
         self.events = 0
         self._run_started_at: Optional[float] = None
+        # Latest event-core counter snapshot (heap pushes, peak heap
+        # size, pool hit rate — see EventQueue.stats); the simulator
+        # refreshes it after every profiled run.
+        self.event_core: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # Hooks the simulator calls
@@ -39,6 +43,11 @@ class SimulatorProfiler:
             self.run_wall_s += perf_counter() - self._run_started_at
             self._run_started_at = None
         self.events += processed
+
+    def record_event_core(self, stats: dict) -> None:
+        """Store the queue's cumulative counter snapshot (the counters
+        only grow, so the latest snapshot covers all profiled runs)."""
+        self.event_core = dict(stats)
 
     def record(self, fn: Callable[..., Any], wall_s: float) -> None:
         """Attribute one fired event to its callback."""
@@ -73,12 +82,15 @@ class SimulatorProfiler:
 
     def as_dict(self) -> dict:
         """JSON-ready summary."""
-        return {
+        summary = {
             "events": self.events,
             "wall_s": self.run_wall_s,
             "events_per_second": self.events_per_second,
             "callbacks": self.callback_stats(),
         }
+        if self.event_core is not None:
+            summary["event_core"] = self.event_core
+        return summary
 
     def report(self, top: Optional[int] = None) -> str:
         """Human-readable table: totals line plus per-callback rows."""
@@ -86,6 +98,13 @@ class SimulatorProfiler:
             f"simulator profile: {self.events:,} events in {self.run_wall_s:.3f}s wall "
             f"({self.events_per_second:,.0f} events/s)"
         ]
+        core = self.event_core
+        if core is not None:
+            lines.append(
+                f"  event core: {core.get('heap_pushes', 0):,} heap pushes"
+                f" (peak heap {core.get('max_heap_len', 0):,}),"
+                f" pool hit rate {(core.get('pool_hit_rate') or 0.0):.1%}"
+            )
         rows = self.callback_stats()
         if top is not None:
             rows = rows[:top]

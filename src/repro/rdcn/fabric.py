@@ -14,16 +14,13 @@ carrying network is marked as a circuit (§6, reTCP's switch support).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from heapq import heappush as _heappush
 from typing import Callable, Dict, Optional
 
 from repro.net.packet import Packet, TCPSegment
 from repro.net.queues import DropTailQueue
-from repro.sim.events import Event
+from repro.sim.events import Channel
 from repro.sim.simulator import Simulator
 from repro.units import serialization_delay_ns
-
-_new_event = object.__new__
 
 
 @dataclass(frozen=True)
@@ -77,6 +74,15 @@ class RackUplink:
         self._tx_delay_caches: Dict[int, Dict[int, int]] = {tdn: {} for tdn in paths}
         self._active_path: Optional[NetworkPath] = None
         self._active_delay_cache: Dict[int, int] = {}
+        # Arrival channels (repro.sim.events.Channel): deliveries are
+        # FIFO only *per path* — each TDN's one-way delay differs, so a
+        # path switch at a day boundary could land a later departure
+        # earlier — hence one deliver channel per network path. The
+        # serializer needs no channel: the _busy gate means at most one
+        # _tx_done is ever pending, so those are pooled one-shots.
+        self._deliver_channels: Dict[int, Channel] = {
+            tdn: sim.channel(f"{name}:deliver:tdn{tdn}") for tdn in paths
+        }
 
     # ------------------------------------------------------------------
     # Schedule hooks
@@ -138,40 +144,18 @@ class RackUplink:
         if tx_delay is None:
             tx_delay = serialization_delay_ns(size, path.rate_bps)
             cache[size] = tx_delay
-        # Inlined Simulator.schedule (same layout as in Link): one of
-        # the two busiest schedule sites in the simulator.
+        # One of the two busiest schedule sites in the simulator;
+        # serialization timers are pooled one-shots (≤1 pending).
         sim = self.sim
-        queue = sim._queue
-        time = sim.now + tx_delay
-        seq = queue._seq
-        event = _new_event(Event)
-        event.time = time
-        event.seq = seq
-        event.fn = self._tx_done
-        event.args = (packet, path)
-        event.cancelled = False
-        event._queue = queue
-        queue._seq = seq + 1
-        _heappush(queue._heap, (time, seq, event))
-        queue._live += 1
+        sim._queue.push_pooled(sim.now + tx_delay, self._tx_done, (packet, path))
 
     def _tx_done(self, packet: Packet, path: NetworkPath) -> None:
         # The packet is on the wire: it arrives even if a night started
-        # mid-serialization.
-        sim = self.sim
-        queue = sim._queue
-        time = sim.now + path.one_way_delay_ns
-        seq = queue._seq
-        event = _new_event(Event)
-        event.time = time
-        event.seq = seq
-        event.fn = self.deliver
-        event.args = (packet,)
-        event.cancelled = False
-        event._queue = queue
-        queue._seq = seq + 1
-        _heappush(queue._heap, (time, seq, event))
-        queue._live += 1
+        # mid-serialization. Delivery rides the channel of the path
+        # that carried it, not whatever path is active by arrival time.
+        self._deliver_channels[path.tdn_id].push(
+            self.sim.now + path.one_way_delay_ns, self.deliver, (packet,)
+        )
         self._busy = False
         # Skip the _serve frame when the VOQ is empty or a night is on.
         if self.active_tdn is not None and self.queue._fifo:

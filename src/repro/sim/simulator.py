@@ -2,13 +2,14 @@
 
 from __future__ import annotations
 
-from heapq import heappop as _heappop, heappush as _heappush
+from heapq import (
+    heappop as _heappop,
+    heapreplace as _heapreplace,
+)
 from time import perf_counter
 from typing import Any, Callable, Optional
 
-from repro.sim.events import Event, EventQueue
-
-_new_event = object.__new__
+from repro.sim.events import Channel, Event, EventQueue
 
 
 class Simulator:
@@ -48,46 +49,26 @@ class Simulator:
     def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> Event:
         """Run ``fn(*args)`` ``delay`` ns from now. ``delay`` must be >= 0.
 
-        The queue push is inlined (same layout as
-        :meth:`EventQueue.push`): this runs a few hundred thousand times
-        per simulated second, so it pays to skip one call layer.
+        Delegates to :meth:`EventQueue.push` — the single one-shot
+        schedule body every former inline copy now shares. The returned
+        event is pinned (never pooled), so ``event.cancel()`` stays
+        safe to call at any later point.
         """
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
-        queue = self._queue
-        time = self.now + delay
-        seq = queue._seq
-        # Event built via __new__ + slot stores: skips the __init__
-        # frame on a path that runs once per scheduled event.
-        event = _new_event(Event)
-        event.time = time
-        event.seq = seq
-        event.fn = fn
-        event.args = args
-        event.cancelled = False
-        event._queue = queue
-        queue._seq = seq + 1
-        _heappush(queue._heap, (time, seq, event))
-        queue._live += 1
-        return event
+        return self._queue.push(self.now + delay, fn, args)
 
     def at(self, time: int, fn: Callable[..., Any], *args: Any) -> Event:
         """Run ``fn(*args)`` at absolute simulation time ``time``."""
         if time < self.now:
             raise ValueError(f"cannot schedule at {time} < now {self.now}")
-        queue = self._queue
-        seq = queue._seq
-        event = _new_event(Event)
-        event.time = time
-        event.seq = seq
-        event.fn = fn
-        event.args = args
-        event.cancelled = False
-        event._queue = queue
-        queue._seq = seq + 1
-        _heappush(queue._heap, (time, seq, event))
-        queue._live += 1
-        return event
+        return self._queue.push(time, fn, args)
+
+    def channel(self, name: str = "channel") -> Channel:
+        """Create a FIFO :class:`~repro.sim.events.Channel` on this
+        simulator's queue — for sources whose scheduled times never
+        decrease (serializers, propagation pipes, circuit paths)."""
+        return self._queue.channel(name)
 
     def cancel(self, event: Event) -> None:
         """Cancel a pending event (no-op if already fired or cancelled).
@@ -114,7 +95,18 @@ class Simulator:
         of cancelled entries, the ``until`` horizon check, and the pop
         are fused into one pass, and events sharing a timestamp are
         popped in a batch that skips the horizon re-check (the deadline
-        was already cleared for that instant).
+        was already cleared for that instant). Two channel/pool duties
+        are fused in as well (``Channel._promote`` and
+        ``EventQueue.recycle`` stay as the reference implementations):
+
+        * every popped or discarded channel head immediately promotes
+          its successor into the heap (before the callback runs, so the
+          callback sees its channel registered and appends in O(1)) —
+          and because the successor always orders strictly after the
+          popped head, pop+promote fuse into a single ``heapreplace``
+          (one sift instead of two);
+        * fired, uncancelled pool-eligible events (``gen >= 0``) go back
+          to the free list with a bumped generation stamp.
         """
         processed = 0
         self._running = True
@@ -124,6 +116,8 @@ class Simulator:
         queue = self._queue
         heap = queue._heap
         heappop = _heappop
+        heapreplace = _heapreplace
+        pool = queue._pool
         limit = max_events if max_events is not None else (1 << 62)
         horizon = until if until is not None else (1 << 62)
         drained = False
@@ -138,12 +132,41 @@ class Simulator:
                 event = entry[2]
                 if event.cancelled:
                     heappop(heap)
+                    channel = event._channel
+                    if channel is not None:
+                        event._channel = None
+                        channel._promote()
                     continue
                 time = entry[0]
                 if time > horizon:
                     drained = True
                     break
-                heappop(heap)
+                channel = event._channel
+                if channel is None:
+                    heappop(heap)
+                else:
+                    # Promote before firing: the callback may push more
+                    # entries onto this channel and must find it in its
+                    # steady state (head registered, deque for the rest).
+                    # The successor orders strictly after the popped
+                    # head, so pop+promote is one heapreplace. The slow
+                    # path (cancelled successor runs) stays in _promote.
+                    event._channel = None
+                    dq = channel._deque
+                    if dq:
+                        nxt_entry = dq[0]
+                        nxt = nxt_entry[2]
+                        if not nxt.cancelled:
+                            dq.popleft()
+                            channel._head = nxt
+                            heapreplace(heap, nxt_entry)
+                            queue.heap_pushes += 1
+                        else:
+                            heappop(heap)
+                            channel._promote()
+                    else:
+                        channel._head = None
+                        heappop(heap)
                 queue._live -= 1
                 event._queue = None
                 self.now = time
@@ -154,6 +177,13 @@ class Simulator:
                     event.fn(*event.args)
                     profiler.record(event.fn, perf_counter() - started)
                 processed += 1
+                if event.gen >= 0 and not event.cancelled:
+                    # EventQueue.recycle inlined: bump the generation so
+                    # stale (event, gen) holders mismatch, drop refs.
+                    event.gen += 1
+                    event.fn = None
+                    event.args = None
+                    pool.append(event)
                 # Batch: drain events scheduled for this same instant
                 # without re-checking the horizon.
                 while self._running and heap and heap[0][0] == time:
@@ -162,8 +192,31 @@ class Simulator:
                     event = heap[0][2]
                     if event.cancelled:
                         heappop(heap)
+                        channel = event._channel
+                        if channel is not None:
+                            event._channel = None
+                            channel._promote()
                         continue
-                    heappop(heap)
+                    channel = event._channel
+                    if channel is None:
+                        heappop(heap)
+                    else:
+                        event._channel = None
+                        dq = channel._deque
+                        if dq:
+                            nxt_entry = dq[0]
+                            nxt = nxt_entry[2]
+                            if not nxt.cancelled:
+                                dq.popleft()
+                                channel._head = nxt
+                                heapreplace(heap, nxt_entry)
+                                queue.heap_pushes += 1
+                            else:
+                                heappop(heap)
+                                channel._promote()
+                        else:
+                            channel._head = None
+                            heappop(heap)
                     queue._live -= 1
                     event._queue = None
                     if profiler is None:
@@ -173,11 +226,19 @@ class Simulator:
                         event.fn(*event.args)
                         profiler.record(event.fn, perf_counter() - started)
                     processed += 1
+                    if event.gen >= 0 and not event.cancelled:
+                        event.gen += 1
+                        event.fn = None
+                        event.args = None
+                        pool.append(event)
         finally:
             self._running = False
             self._event_count += processed
             if profiler is not None:
                 profiler.run_finished(processed)
+                hook = getattr(profiler, "record_event_core", None)
+                if hook is not None:
+                    hook(queue.stats())
         if drained and until is not None and self.now < until:
             self.now = until
         return processed
@@ -193,3 +254,12 @@ class Simulator:
     @property
     def processed_events(self) -> int:
         return self._event_count
+
+    def event_core_stats(self) -> dict:
+        """Event-core counters: heap pushes, peak heap size, pool hit
+        rate (see :meth:`repro.sim.events.EventQueue.stats`), plus the
+        lifetime processed-event count."""
+        stats = self._queue.stats()
+        stats["processed_events"] = self._event_count
+        stats["pending_events"] = len(self._queue)
+        return stats

@@ -12,6 +12,13 @@ authoritative deadline; if the event fires before the deadline it
 re-arms itself for the remainder (a cheap no-op event) — the callback
 only ever runs at the true deadline. A restart therefore costs two
 attribute writes in the common extend-the-deadline case.
+
+Timer events come from the event pool (``EventQueue.push_pooled``), so
+steady-state re-arms allocate nothing. The timer is a disciplined
+holder: it captures ``event.gen`` at schedule time and re-checks it
+before every later access, so once a fired event is recycled into some
+unrelated role, the stale reference is treated exactly like "no event"
+— a recycled event can never be cancelled or misread through a timer.
 """
 
 from __future__ import annotations
@@ -29,12 +36,13 @@ class Timer:
     its deadline. The timer never fires after :meth:`cancel`.
     """
 
-    __slots__ = ("_sim", "_fn", "_event", "_deadline", "_args", "name")
+    __slots__ = ("_sim", "_fn", "_event", "_gen", "_deadline", "_args", "name")
 
     def __init__(self, sim: Simulator, fn: Callable[..., Any], name: str = "timer"):
         self._sim = sim
         self._fn = fn
         self._event: Optional[Event] = None
+        self._gen = -1
         self._deadline: Optional[int] = None
         self._args: tuple = ()
         self.name = name
@@ -49,39 +57,42 @@ class Timer:
         return self._deadline
 
     def start(self, delay: int, *args: Any) -> None:
-        """(Re)arm the timer ``delay`` ns from now.
-
-        Duplicates :meth:`start_at`'s body rather than delegating: TCP
-        restarts its RTO/TLP timers on every ACK, so the extra frame is
-        measurable.
-        """
-        time = self._sim.now + delay
-        self._deadline = time
-        self._args = args
-        event = self._event
-        if event is not None and not event.cancelled:
-            if event.time <= time:
-                return  # fires first; _fire re-arms for the remainder
-            event.cancel()  # deadline moved earlier: must reschedule
-        self._event = self._sim.at(time, self._fire)
+        """(Re)arm the timer ``delay`` ns from now."""
+        self._arm(self._sim.now + delay, args)
 
     def start_at(self, time: int, *args: Any) -> None:
         """(Re)arm the timer at an absolute time."""
+        self._arm(time, args)
+
+    def _arm(self, time: int, args: tuple) -> None:
+        """The one (re)arm body ``start``/``start_at`` share.
+
+        Fast path first: with a live event already scheduled at or
+        before the new deadline, recording the deadline is enough —
+        ``_fire`` re-arms for the remainder. Only a deadline moved
+        *earlier* than the scheduled event forces a cancel+reschedule.
+        """
         self._deadline = time
         self._args = args
         event = self._event
-        if event is not None and not event.cancelled:
+        if event is not None and event.gen == self._gen and not event.cancelled:
             if event.time <= time:
                 return  # fires first; _fire re-arms for the remainder
             event.cancel()  # deadline moved earlier: must reschedule
-        self._event = self._sim.at(time, self._fire)
+        sim = self._sim
+        if time < sim.now:
+            raise ValueError(f"cannot schedule at {time} < now {sim.now}")
+        event = sim._queue.push_pooled(time, self._fire)
+        self._event = event
+        self._gen = event.gen
 
     def cancel(self) -> None:
         self._deadline = None
         self._args = ()
-        if self._event is not None:
-            if not self._event.cancelled:
-                self._event.cancel()
+        event = self._event
+        if event is not None:
+            if event.gen == self._gen and not event.cancelled:
+                event.cancel()
             self._event = None
 
     def _fire(self) -> None:
@@ -91,7 +102,9 @@ class Timer:
             return  # disarmed since this event was scheduled
         if deadline > self._sim.now:
             # Deadline was pushed out since: re-arm for the remainder.
-            self._event = self._sim.at(deadline, self._fire)
+            event = self._sim._queue.push_pooled(deadline, self._fire)
+            self._event = event
+            self._gen = event.gen
             return
         self._deadline = None
         args = self._args

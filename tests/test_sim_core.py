@@ -232,6 +232,113 @@ class TestTimer:
         assert got == [("a", 3)]
 
 
+@pytest.mark.parametrize("mode", ["start", "start_at"])
+class TestTimerArmParity:
+    """``Timer.start`` and ``Timer.start_at`` share one ``_arm`` body;
+    this parameterized suite pins that the relative and absolute
+    spellings behave identically — fast path, reschedule, cancel, and
+    validation — so the two entry points can never drift apart."""
+
+    @staticmethod
+    def _arm(timer, sim, at, mode, *args):
+        if mode == "start":
+            timer.start(at - sim.now, *args)
+        else:
+            timer.start_at(at, *args)
+
+    def test_fires_at_deadline(self, mode):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        self._arm(timer, sim, 100, mode)
+        sim.run()
+        assert fired == [100]
+        assert not timer.armed
+
+    def test_extend_deadline_fast_path_keeps_event(self, mode):
+        # Extending the deadline must NOT consume a new event: the
+        # armed event fires first and _fire re-arms for the remainder.
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        self._arm(timer, sim, 100, mode)
+        event = timer._event
+        seq_after_arm = sim._queue._seq
+        self._arm(timer, sim, 250, mode)
+        assert timer._event is event  # same scheduled event
+        assert sim._queue._seq == seq_after_arm  # no new event consumed
+        assert timer.deadline == 250
+        sim.run()
+        assert fired == [250]
+
+    def test_move_deadline_earlier_reschedules(self, mode):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        self._arm(timer, sim, 200, mode)
+        first_event = timer._event
+        self._arm(timer, sim, 100, mode)
+        assert first_event.cancelled  # old event dead, exactly one fire
+        assert timer._event is not first_event
+        sim.run()
+        assert fired == [100]
+
+    def test_cancel_prevents_fire(self, mode):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(True))
+        self._arm(timer, sim, 100, mode)
+        timer.cancel()
+        assert not timer.armed
+        sim.run()
+        assert not fired
+
+    def test_rearm_replaces_args(self, mode):
+        sim = Simulator()
+        got = []
+        timer = Timer(sim, lambda x: got.append(x))
+        self._arm(timer, sim, 100, mode, "stale")
+        self._arm(timer, sim, 200, mode, "fresh")
+        sim.run()
+        assert got == ["fresh"]
+
+    def test_past_deadline_rejected(self, mode):
+        sim = Simulator()
+        sim.run(until=1_000)
+        timer = Timer(sim, lambda: None)
+        with pytest.raises(ValueError):
+            self._arm(timer, sim, 500, mode)
+
+    def test_rearm_after_fire_uses_pool(self, mode):
+        # Steady-state re-arms go through the event pool: after the
+        # first fire, arming again must reuse a recycled event.
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        self._arm(timer, sim, 100, mode)
+        sim.run()
+        hits_before = sim._queue.stats()["pool_hits"]
+        self._arm(timer, sim, sim.now + 100, mode)
+        assert sim._queue.stats()["pool_hits"] == hits_before + 1
+        sim.run()
+        assert fired == [100, 200]
+
+    def test_stale_generation_guard(self, mode):
+        # If the timer's event has been recycled into an unrelated role
+        # (gen bumped), the timer must treat its reference as dead:
+        # cancel() must not kill the recycled event, and re-arming must
+        # schedule a fresh one instead of extending the stale one.
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        self._arm(timer, sim, 100, mode)
+        event = timer._event
+        event.gen += 1  # simulate the run loop recycling this event
+        timer.cancel()
+        assert not event.cancelled
+        self._arm(timer, sim, 50, mode)
+        assert timer._event is not event
+
+
 class TestSeededRandom:
     def test_deterministic(self):
         a = SeededRandom(42)
