@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Type
 
 from repro.net.node import Host
+from repro.obs.sketch import QuantileSketch
 from repro.rdcn.topology import TwoRackTestbed
 from repro.sim.rng import SeededRandom
 from repro.sim.simulator import Simulator
@@ -46,6 +47,10 @@ class ShortFlowRecord:
 @dataclass
 class ShortFlowStats:
     records: List[ShortFlowRecord] = field(default_factory=list)
+    # Streaming FCT aggregate (microseconds), fed on every completion:
+    # the constant-memory view that survives when per-record lists stop
+    # scaling (the ROADMAP's 10M-flow workload engine).
+    fct_sketch: QuantileSketch = field(default_factory=QuantileSketch)
 
     @property
     def completed(self) -> List[ShortFlowRecord]:
@@ -134,6 +139,7 @@ class ShortFlowGenerator:
         def on_delivered(time_ns, total, r=record, c=client, s=server):
             if total >= r.size_bytes and r.completed_ns is None:
                 r.completed_ns = time_ns
+                self.stats.fct_sketch.add(r.fct_ns / 1000)
                 # Free the demux slots so long runs don't accumulate.
                 self.sim.schedule(1_000_000, self._cleanup, c, s)
 

@@ -21,7 +21,8 @@ import tempfile
 from typing import Callable, Dict, List, Optional
 
 from repro.experiments import figures
-from repro.experiments.executor import ExperimentExecutor
+from repro.experiments.executor import DEFAULT_HEARTBEAT_EVENTS, ExperimentExecutor
+from repro.obs.campaign import CampaignLog, LiveCampaignView
 from repro.obs.telemetry import ObsConfig
 from repro.experiments.report import (
     figure_to_csv,
@@ -110,6 +111,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="abort a run after this many wall-clock seconds",
     )
     parser.add_argument(
+        "--campaign-log", metavar="JSONL", default=None,
+        help="append run-lifecycle events (queued/started/heartbeat/finished/…) to this JSONL file",
+    )
+    parser.add_argument(
+        "--live", action="store_true",
+        help="repaint live campaign progress (per-run heartbeats, ETA, cache-hit rate) when stderr is a TTY",
+    )
+    parser.add_argument(
+        "--heartbeat-events", type=int, default=DEFAULT_HEARTBEAT_EVENTS,
+        help=f"worker heartbeat cadence in simulator events (default: {DEFAULT_HEARTBEAT_EVENTS})",
+    )
+    parser.add_argument(
         "--variant", default="tdtcp",
         help="variant for the 'chaos' target (default: tdtcp)",
     )
@@ -135,17 +148,30 @@ def obs_config_from_args(args) -> Optional[ObsConfig]:
 
 def executor_from_args(args) -> ExperimentExecutor:
     """One executor per CLI invocation: worker count, cache location,
-    and retry budget straight from the flags, progress on stderr."""
+    retry budget, and campaign bus straight from the flags, progress on
+    stderr. ``--live`` upgrades the progress lines to an in-place TTY
+    view when stderr is a terminal; otherwise it falls back to the
+    plain lines."""
+    campaign = None
+    live = None
+    if args.campaign_log or args.live:
+        campaign = CampaignLog(args.campaign_log)
+        if args.live and sys.stderr.isatty():
+            live = LiveCampaignView(sys.stderr, jobs=args.jobs)
+            campaign.subscribe(live.on_record)
 
     def progress(done: int, total: int, label: str, outcome: str) -> None:
         print(f"  [{done}/{total}] {label}: {outcome}", file=sys.stderr)
 
+    plain = args.jobs > 1 or args.cache_dir or campaign is not None
     return ExperimentExecutor(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         retries=args.retries,
-        progress=progress if (args.jobs > 1 or args.cache_dir) else None,
+        progress=progress if (plain and live is None) else None,
+        campaign=campaign,
+        heartbeat_events=args.heartbeat_events,
     )
 
 
@@ -182,6 +208,10 @@ def run_figure(name: str, args) -> int:
             if result.profile_report:
                 sections.append(f"profile [{name}/{variant}]\n{result.profile_report}")
     sections.append(f"executor: {executor.last_batch.render()}")
+    if executor.campaign is not None:
+        executor.campaign.close()
+        if executor.campaign.path:
+            sections.append(f"campaign log: {executor.campaign.path}")
     print("\n\n".join(sections))
     if data.failures:
         for variant, failure in sorted(data.failures.items()):
@@ -280,6 +310,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         print(result.render())
         print(f"executor: {executor.last_batch.render()}")
+        if executor.campaign is not None:
+            executor.campaign.close()
+            if executor.campaign.path:
+                print(f"campaign log: {executor.campaign.path}")
         # Failed points are rendered as FAILED cells above; a sweep with
         # any crashed run must not exit clean.
         return 0 if result.ok else 1

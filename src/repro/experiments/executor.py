@@ -42,17 +42,32 @@ import json
 import multiprocessing
 import os
 import pathlib
+import queue as queue_mod
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from time import perf_counter
 from typing import Callable, List, Optional, Sequence
 
 from repro.experiments.config import CONFIG_SCHEMA_VERSION, ExperimentConfig
-from repro.experiments.runner import ExperimentResult, RunFailure, run_experiment
+from repro.experiments.runner import (
+    ExperimentResult,
+    RunFailure,
+    run_experiment,
+    set_worker_heartbeat,
+)
+from repro.obs.campaign import CAMPAIGN_SCHEMA_VERSION, CampaignLog
 from repro.obs.metrics import MetricsRegistry
 
 #: (done, total, label, outcome) — outcome is "cached", "ok", "failed",
-#: or "retry" (retry reports do not advance ``done``).
+#: or "retry" (retry reports do not advance ``done``). ``done`` is
+#: strictly monotonic non-decreasing across one batch.
 ProgressFn = Callable[[int, int, str, str], None]
+
+#: Default heartbeat cadence when a campaign log is attached: every
+#: ~100k processed events a worker reports (sim_now, events, events/s,
+#: heap size) — frequent enough to spot a wedged run within seconds,
+#: rare enough to be invisible in the profile.
+DEFAULT_HEARTBEAT_EVENTS = 100_000
 
 
 def execute_config_dict(payload: dict) -> dict:
@@ -60,6 +75,26 @@ def execute_config_dict(payload: dict) -> dict:
     it): canonical config dict in, canonical result dict out."""
     config = ExperimentConfig.from_dict(payload)
     return run_experiment(config).to_dict()
+
+
+def execute_config_dict_hb(payload: dict, label: str, hb_queue, every_events: int) -> dict:
+    """Heartbeating worker entry point: like :func:`execute_config_dict`
+    but first installs a process-wide heartbeat hook that relays
+    ``(label, sim_now, events, events_per_s, pending_events)`` tuples
+    over ``hb_queue`` (a ``multiprocessing.Manager().Queue()`` — plain
+    queues cannot cross a ``ProcessPoolExecutor.submit`` boundary)."""
+
+    def hook(sim_now: int, events: int, events_per_s: float, pending: int) -> None:
+        try:
+            hb_queue.put((label, sim_now, events, events_per_s, pending))
+        except Exception:
+            pass  # a dead relay must never kill the run itself
+
+    set_worker_heartbeat(hook, every_events)
+    try:
+        return execute_config_dict(payload)
+    finally:
+        set_worker_heartbeat(None)
 
 
 def _synthetic_failure(config: ExperimentConfig, error: Exception) -> ExperimentResult:
@@ -126,12 +161,14 @@ class BatchStats:
     cache_misses: int = 0
     retries: int = 0
     failures: int = 0
+    wall_s: float = 0.0
 
     def render(self) -> str:
         return (
             f"{self.total} runs: {self.executed} executed, "
-            f"{self.cache_hits} cache hits, {self.retries} retries, "
-            f"{self.failures} failures"
+            f"{self.cache_hits} cache hits, {self.cache_misses} cache misses, "
+            f"{self.retries} retries, {self.failures} failures "
+            f"in {self.wall_s:.1f}s"
         )
 
 
@@ -150,17 +187,24 @@ class ExperimentExecutor:
         retries: int = 1,
         metrics: Optional[MetricsRegistry] = None,
         progress: Optional[ProgressFn] = None,
+        campaign: Optional[CampaignLog] = None,
+        heartbeat_events: int = DEFAULT_HEARTBEAT_EVENTS,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if heartbeat_events < 1:
+            raise ValueError("heartbeat_events must be >= 1")
         self.jobs = jobs
         self.retries = retries
         self.cache = ResultCache(cache_dir) if (cache_dir and use_cache) else None
         self.progress = progress
+        self.campaign = campaign
+        self.heartbeat_events = heartbeat_events
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.last_batch = BatchStats()
+        self._progress_done = 0
         self._m_hits = self.metrics.counter(
             "executor_cache_hits_total", "batch items served from the result cache"
         )
@@ -190,19 +234,36 @@ class ExperimentExecutor:
             labels = [f"{c.variant}/seed{c.seed}" for c in configs]
         if len(labels) != len(configs):
             raise ValueError("labels must match configs one-to-one")
+        started_wall = perf_counter()
         stats = self.last_batch = BatchStats(total=len(configs))
+        self._progress_done = 0
         results: List[Optional[ExperimentResult]] = [None] * len(configs)
         keys = [self._cacheable_key(c) for c in configs]
         done = 0
+        self._emit(
+            "campaign_start",
+            schema=CAMPAIGN_SCHEMA_VERSION,
+            total=len(configs),
+            jobs=self.jobs,
+        )
 
         pending: List[int] = []
         for i, config in enumerate(configs):
+            self._emit(
+                "queued",
+                run=labels[i],
+                index=i,
+                total=len(configs),
+                variant=config.variant,
+                seed=config.seed,
+            )
             cached = self.cache.get(keys[i]) if keys[i] is not None else None
             if cached is not None:
                 results[i] = cached
                 stats.cache_hits += 1
                 self._m_hits.inc(1)
                 done += 1
+                self._emit("cache_hit", run=labels[i], index=i)
                 self._report(done, stats.total, labels[i], "cached")
                 continue
             if keys[i] is not None:
@@ -214,7 +275,7 @@ class ExperimentExecutor:
             stats.executed += len(pending)
             if self.jobs == 1 or len(pending) == 1:
                 for i in pending:
-                    results[i] = self._run_inline(configs[i], labels[i], stats)
+                    results[i] = self._run_inline(configs[i], labels[i], stats, done)
                     done += 1
                     self._finish_item(results[i], labels[i], done, stats)
             else:
@@ -223,6 +284,8 @@ class ExperimentExecutor:
         for i in pending:
             if self.cache is not None and keys[i] is not None and results[i].ok:
                 self.cache.put(keys[i], results[i])
+        stats.wall_s = perf_counter() - started_wall
+        self._emit("campaign_end", stats=asdict(stats))
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
@@ -235,19 +298,35 @@ class ExperimentExecutor:
             return None  # telemetry artifacts cannot be replayed from cache
         return config.cache_key()
 
+    def _emit(self, event: str, **fields) -> None:
+        if self.campaign is not None:
+            self.campaign.emit(event, **fields)
+
     def _report(self, done: int, total: int, label: str, outcome: str) -> None:
+        # Clamp to the high-water mark: retry reports and out-of-order
+        # completion can hand in stale counts, but consumers see a
+        # monotonically non-decreasing ``done``.
+        if done > self._progress_done:
+            self._progress_done = done
         if self.progress is not None:
-            self.progress(done, total, label, outcome)
+            self.progress(self._progress_done, total, label, outcome)
 
     def _finish_item(
         self, result: ExperimentResult, label: str, done: int, stats: BatchStats
     ) -> None:
         if result.ok:
             self._m_runs.inc(1, outcome="ok")
+            self._emit("finished", run=label, outcome="ok", sketches=result.sketches)
             self._report(done, stats.total, label, "ok")
         else:
             stats.failures += 1
             self._m_runs.inc(1, outcome="failed")
+            self._emit(
+                "failed",
+                run=label,
+                error_type=result.failure.error_type,
+                error_message=result.failure.error_message,
+            )
             self._report(done, stats.total, label, "failed")
 
     def _run_once(self, config: ExperimentConfig) -> ExperimentResult:
@@ -257,17 +336,69 @@ class ExperimentExecutor:
             return _synthetic_failure(config, error)
 
     def _run_inline(
-        self, config: ExperimentConfig, label: str, stats: BatchStats
+        self, config: ExperimentConfig, label: str, stats: BatchStats, done: int
     ) -> ExperimentResult:
-        result = self._run_once(config)
-        for _attempt in range(self.retries):
-            if result.ok:
-                break
-            stats.retries += 1
-            self._m_retries.inc(1)
-            self._report(0, stats.total, label, "retry")
+        campaign = self.campaign
+        if campaign is not None:
+            # Inline runs heartbeat straight into the log — same hook,
+            # no process boundary.
+            def hook(sim_now: int, events: int, events_per_s: float, pending: int) -> None:
+                campaign.emit(
+                    "heartbeat",
+                    run=label,
+                    sim_now=sim_now,
+                    events=events,
+                    events_per_s=events_per_s,
+                    pending_events=pending,
+                )
+
+            set_worker_heartbeat(hook, self.heartbeat_events)
+        try:
+            attempt = 1
+            self._emit("started", run=label, attempt=attempt)
             result = self._run_once(config)
-        return result
+            for _attempt in range(self.retries):
+                if result.ok:
+                    break
+                stats.retries += 1
+                self._m_retries.inc(1)
+                attempt += 1
+                self._emit("retry", run=label, attempt=attempt)
+                self._report(done, stats.total, label, "retry")
+                self._emit("started", run=label, attempt=attempt)
+                result = self._run_once(config)
+            return result
+        finally:
+            if campaign is not None:
+                set_worker_heartbeat(None)
+
+    def _submit(self, pool, config: ExperimentConfig, label: str, hb_queue):
+        if hb_queue is None:
+            return pool.submit(execute_config_dict, config.to_dict())
+        return pool.submit(
+            execute_config_dict_hb,
+            config.to_dict(),
+            label,
+            hb_queue,
+            self.heartbeat_events,
+        )
+
+    def _drain_heartbeats(self, hb_queue) -> None:
+        while True:
+            try:
+                label, sim_now, events, events_per_s, pending = hb_queue.get_nowait()
+            except queue_mod.Empty:
+                return
+            except (EOFError, OSError):
+                return  # manager went away mid-shutdown
+            self._emit(
+                "heartbeat",
+                run=label,
+                sim_now=sim_now,
+                events=events,
+                events_per_s=events_per_s,
+                pending_events=pending,
+            )
 
     def _run_pool(
         self,
@@ -280,33 +411,64 @@ class ExperimentExecutor:
     ) -> int:
         ctx = multiprocessing.get_context("spawn")
         attempts_left = {i: self.retries for i in pending}
-        with ProcessPoolExecutor(
-            max_workers=min(self.jobs, len(pending)), mp_context=ctx
-        ) as pool:
-            futures = {}
-            for i in pending:
-                futures[pool.submit(execute_config_dict, configs[i].to_dict())] = i
-            while futures:
-                finished, _ = wait(set(futures), return_when=FIRST_COMPLETED)
-                for fut in finished:
-                    i = futures.pop(fut)
-                    try:
-                        result = ExperimentResult.from_dict(fut.result())
-                    except Exception as error:
-                        result = _synthetic_failure(configs[i], error)
-                    if not result.ok and attempts_left[i] > 0:
-                        attempts_left[i] -= 1
-                        stats.retries += 1
-                        self._m_retries.inc(1)
-                        self._report(done, stats.total, labels[i], "retry")
+        attempts = {i: 1 for i in pending}
+        manager = None
+        hb_queue = None
+        if self.campaign is not None:
+            # Heartbeats cross the pool boundary through a managed
+            # queue (picklable by proxy); drained between waits so the
+            # live view updates while runs are still in flight.
+            manager = ctx.Manager()
+            hb_queue = manager.Queue()
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(pending)), mp_context=ctx
+            ) as pool:
+                futures = {}
+                for i in pending:
+                    futures[self._submit(pool, configs[i], labels[i], hb_queue)] = i
+                    self._emit("started", run=labels[i], attempt=1)
+                while futures:
+                    if hb_queue is None:
+                        finished, _ = wait(set(futures), return_when=FIRST_COMPLETED)
+                    else:
+                        finished, _ = wait(
+                            set(futures), timeout=0.2, return_when=FIRST_COMPLETED
+                        )
+                        # A worker's heartbeats are all enqueued (the
+                        # manager put is synchronous) before its future
+                        # resolves, so draining here keeps each run's
+                        # heartbeats ahead of its finished event.
+                        self._drain_heartbeats(hb_queue)
+                    for fut in finished:
+                        i = futures.pop(fut)
                         try:
-                            futures[
-                                pool.submit(execute_config_dict, configs[i].to_dict())
-                            ] = i
-                            continue
-                        except Exception as error:  # pool already broken
+                            result = ExperimentResult.from_dict(fut.result())
+                        except Exception as error:
                             result = _synthetic_failure(configs[i], error)
-                    results[i] = result
-                    done += 1
-                    self._finish_item(result, labels[i], done, stats)
+                        if not result.ok and attempts_left[i] > 0:
+                            attempts_left[i] -= 1
+                            stats.retries += 1
+                            self._m_retries.inc(1)
+                            attempts[i] += 1
+                            self._emit("retry", run=labels[i], attempt=attempts[i])
+                            self._report(done, stats.total, labels[i], "retry")
+                            try:
+                                futures[
+                                    self._submit(pool, configs[i], labels[i], hb_queue)
+                                ] = i
+                                self._emit(
+                                    "started", run=labels[i], attempt=attempts[i]
+                                )
+                                continue
+                            except Exception as error:  # pool already broken
+                                result = _synthetic_failure(configs[i], error)
+                        results[i] = result
+                        done += 1
+                        self._finish_item(result, labels[i], done, stats)
+            if hb_queue is not None:
+                self._drain_heartbeats(hb_queue)
+        finally:
+            if manager is not None:
+                manager.shutdown()
         return done

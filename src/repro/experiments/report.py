@@ -13,6 +13,8 @@ import numpy as np
 from repro.experiments.figures import FigureData
 from repro.metrics.cdf import quantile
 from repro.metrics.seqgraph import step_interpolate
+from repro.obs.campaign import campaign_summary
+from repro.obs.sketch import PERCENTILE_LABELS, QuantileSketch
 from repro.units import to_usec
 
 
@@ -179,6 +181,292 @@ def headline_claims(data: FigureData) -> Dict[str, float]:
         if value is not None:
             claims[f"tdtcp_vs_{other}_pct"] = value
     return claims
+
+
+# ----------------------------------------------------------------------
+# Campaign dashboard (repro.obs.campaign JSONL -> markdown / HTML)
+# ----------------------------------------------------------------------
+
+def merge_campaign_sketches(
+    records: Sequence[dict],
+) -> Dict[str, Dict[str, QuantileSketch]]:
+    """sketch name -> variant -> exact merge of every finished run's
+    sketch (bucket counts are integers, so per-variant percentiles are
+    independent of run completion order)."""
+    variant_of: Dict[str, str] = {}
+    merged: Dict[str, Dict[str, QuantileSketch]] = {}
+    for record in records:
+        if record.get("event") == "queued":
+            variant_of[record["run"]] = str(record.get("variant", "?"))
+    for record in records:
+        if record.get("event") != "finished":
+            continue
+        variant = variant_of.get(record.get("run"), "?")
+        for name, state in (record.get("sketches") or {}).items():
+            per_variant = merged.setdefault(name, {})
+            sketch = QuantileSketch.from_dict(state)
+            if variant in per_variant:
+                per_variant[variant].merge(sketch)
+            else:
+                per_variant[variant] = sketch
+    return merged
+
+
+def _campaign_timeline(records: Sequence[dict]) -> List[dict]:
+    """Per-run wall-clock timeline rows (input order by queue index)."""
+    rows: Dict[str, dict] = {}
+    for record in records:
+        event = record.get("event")
+        label = record.get("run")
+        if not label:
+            continue
+        row = rows.setdefault(
+            label,
+            {"run": label, "index": None, "variant": "?", "seed": None,
+             "state": "queued", "attempts": 0, "retries": 0, "heartbeats": 0,
+             "queued_ms": None, "started_ms": None, "ended_ms": None,
+             "error": None},
+        )
+        if event == "queued":
+            row["index"] = record.get("index")
+            row["variant"] = record.get("variant", "?")
+            row["seed"] = record.get("seed")
+            row["queued_ms"] = record.get("wall_ms")
+        elif event == "started":
+            row["attempts"] += 1
+            row["state"] = "running"
+            if row["started_ms"] is None:
+                row["started_ms"] = record.get("wall_ms")
+        elif event == "retry":
+            row["retries"] += 1
+        elif event == "heartbeat":
+            row["heartbeats"] += 1
+        elif event == "cache_hit":
+            row["state"] = "cached"
+            row["ended_ms"] = record.get("wall_ms")
+        elif event == "finished":
+            row["state"] = "finished"
+            row["ended_ms"] = record.get("wall_ms")
+        elif event == "failed":
+            row["state"] = "failed"
+            row["ended_ms"] = record.get("wall_ms")
+            row["error"] = f"{record.get('error_type')}: {record.get('error_message')}"
+    ordered = sorted(
+        rows.values(), key=lambda r: (r["index"] is None, r["index"], r["run"])
+    )
+    return ordered
+
+
+def _fmt(value, scale: float = 1.0, digits: int = 4) -> str:
+    if value is None:
+        return "-"
+    return f"{value * scale:.{digits}g}"
+
+
+def render_campaign(records: Sequence[dict]) -> str:
+    """Markdown dashboard of a campaign JSONL stream: headline counts,
+    per-variant sketch percentiles, the run timeline, and the
+    failure/retry table."""
+    summary = campaign_summary(records)
+    timeline = _campaign_timeline(records)
+    states: Dict[str, int] = {}
+    for row in timeline:
+        states[row["state"]] = states.get(row["state"], 0) + 1
+    lines = ["# Campaign report", ""]
+    lines.append(
+        f"**{summary['total']} runs** — "
+        + ", ".join(f"{count} {state}" for state, count in sorted(states.items()))
+    )
+    if summary["stats"]:
+        stats = summary["stats"]
+        lines.append(
+            f"executed {stats.get('executed', 0)}, cache hits "
+            f"{stats.get('cache_hits', 0)}, cache misses {stats.get('cache_misses', 0)}, "
+            f"retries {stats.get('retries', 0)}, failures {stats.get('failures', 0)}"
+        )
+    heartbeat_total = summary["event_counts"].get("heartbeat", 0)
+    lines.append(f"heartbeats observed: {heartbeat_total}")
+    lines.append("")
+
+    merged = merge_campaign_sketches(records)
+    if merged:
+        lines.append("## Percentiles (sketches merged per variant)")
+        lines.append("")
+        header = "| sketch | variant | count | " + " | ".join(
+            label for label, _q in PERCENTILE_LABELS
+        ) + " |"
+        lines.append(header)
+        lines.append("|" + "---|" * (3 + len(PERCENTILE_LABELS)))
+        for name in sorted(merged):
+            for variant in sorted(merged[name]):
+                sketch = merged[name][variant]
+                cells = " | ".join(
+                    _fmt(sketch.quantile(q)) for _label, q in PERCENTILE_LABELS
+                )
+                lines.append(
+                    f"| {name} | {variant} | {sketch.count} | {cells} |"
+                )
+        lines.append("")
+
+    if timeline:
+        lines.append("## Run timeline")
+        lines.append("")
+        lines.append(
+            "| # | run | variant | seed | state | attempts | heartbeats "
+            "| started (s) | ended (s) | duration (s) |"
+        )
+        lines.append("|" + "---|" * 10)
+        for row in timeline:
+            started = row["started_ms"]
+            ended = row["ended_ms"]
+            duration = (
+                (ended - started) / 1000.0
+                if started is not None and ended is not None
+                else None
+            )
+            lines.append(
+                f"| {row['index'] if row['index'] is not None else '-'} "
+                f"| {row['run']} | {row['variant']} | {row['seed']} "
+                f"| {row['state']} | {row['attempts']} | {row['heartbeats']} "
+                f"| {_fmt(started, 1e-3)} | {_fmt(ended, 1e-3)} | {_fmt(duration)} |"
+            )
+        lines.append("")
+
+    troubled = [r for r in timeline if r["retries"] or r["state"] == "failed"]
+    lines.append("## Failures & retries")
+    lines.append("")
+    if troubled:
+        lines.append("| run | state | retries | error |")
+        lines.append("|" + "---|" * 4)
+        for row in troubled:
+            lines.append(
+                f"| {row['run']} | {row['state']} | {row['retries']} "
+                f"| {row['error'] or '-'} |"
+            )
+    else:
+        lines.append("none — every run completed on its first attempt.")
+    lines.append("")
+    return "\n".join(lines)
+
+
+_CAMPAIGN_CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2em; color: #1c2733; }
+table { border-collapse: collapse; margin: 1em 0; }
+th, td { border: 1px solid #cdd5de; padding: 4px 10px; text-align: right; }
+th { background: #eef2f6; }
+td:first-child, th:first-child, td.l, th.l { text-align: left; }
+.state-finished { color: #19722e; } .state-cached { color: #555; }
+.state-failed { color: #a31515; font-weight: bold; }
+.bar { background: #4a90d9; height: 10px; display: inline-block; }
+"""
+
+
+def render_campaign_html(records: Sequence[dict], title: str = "Campaign report") -> str:
+    """Self-contained static HTML dashboard of a campaign stream —
+    the same content as :func:`render_campaign` plus wall-clock
+    timeline bars. No external assets (CI uploads it as an artifact)."""
+    import html as html_mod
+
+    esc = html_mod.escape
+    summary = campaign_summary(records)
+    timeline = _campaign_timeline(records)
+    merged = merge_campaign_sketches(records)
+    end_ms = max(
+        (row["ended_ms"] for row in timeline if row["ended_ms"] is not None),
+        default=0.0,
+    ) or 1.0
+
+    parts = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<title>{esc(title)}</title><style>{_CAMPAIGN_CSS}</style></head><body>",
+        f"<h1>{esc(title)}</h1>",
+        f"<p><b>{summary['total']} runs</b>, "
+        f"{summary['event_counts'].get('heartbeat', 0)} heartbeats observed.</p>",
+    ]
+    if summary["stats"]:
+        stats = summary["stats"]
+        parts.append(
+            "<p>executed {executed}, cache hits {cache_hits}, cache misses "
+            "{cache_misses}, retries {retries}, failures {failures}</p>".format(
+                executed=stats.get("executed", 0),
+                cache_hits=stats.get("cache_hits", 0),
+                cache_misses=stats.get("cache_misses", 0),
+                retries=stats.get("retries", 0),
+                failures=stats.get("failures", 0),
+            )
+        )
+    if merged:
+        parts.append("<h2>Percentiles (sketches merged per variant)</h2><table>")
+        parts.append(
+            "<tr><th class='l'>sketch</th><th class='l'>variant</th><th>count</th>"
+            + "".join(f"<th>{label}</th>" for label, _q in PERCENTILE_LABELS)
+            + "</tr>"
+        )
+        for name in sorted(merged):
+            for variant in sorted(merged[name]):
+                sketch = merged[name][variant]
+                cells = "".join(
+                    f"<td>{_fmt(sketch.quantile(q))}</td>"
+                    for _label, q in PERCENTILE_LABELS
+                )
+                parts.append(
+                    f"<tr><td class='l'>{esc(name)}</td><td class='l'>{esc(variant)}</td>"
+                    f"<td>{sketch.count}</td>{cells}</tr>"
+                )
+        parts.append("</table>")
+    if timeline:
+        parts.append("<h2>Run timeline</h2><table>")
+        parts.append(
+            "<tr><th>#</th><th class='l'>run</th><th class='l'>variant</th>"
+            "<th>seed</th><th class='l'>state</th><th>attempts</th>"
+            "<th>heartbeats</th><th>duration (s)</th><th class='l'>timeline</th></tr>"
+        )
+        for row in timeline:
+            started = row["started_ms"] if row["started_ms"] is not None else row["queued_ms"]
+            ended = row["ended_ms"]
+            duration = (
+                (ended - started) / 1000.0
+                if started is not None and ended is not None
+                else None
+            )
+            if started is not None and ended is not None:
+                left = 100.0 * started / end_ms
+                width = max(100.0 * (ended - started) / end_ms, 0.5)
+                bar = (
+                    f"<div style='width:240px'><span class='bar' "
+                    f"title='{_fmt(duration)}s' "
+                    f"style='margin-left:{left * 2.4:.0f}px;width:{width * 2.4:.0f}px'>"
+                    f"</span></div>"
+                )
+            else:
+                bar = ""
+            parts.append(
+                f"<tr><td>{row['index'] if row['index'] is not None else '-'}</td>"
+                f"<td class='l'>{esc(row['run'])}</td><td class='l'>{esc(row['variant'])}</td>"
+                f"<td>{row['seed']}</td>"
+                f"<td class='l state-{esc(row['state'])}'>{esc(row['state'])}</td>"
+                f"<td>{row['attempts']}</td><td>{row['heartbeats']}</td>"
+                f"<td>{_fmt(duration)}</td><td class='l'>{bar}</td></tr>"
+            )
+        parts.append("</table>")
+    troubled = [r for r in timeline if r["retries"] or r["state"] == "failed"]
+    parts.append("<h2>Failures &amp; retries</h2>")
+    if troubled:
+        parts.append(
+            "<table><tr><th class='l'>run</th><th class='l'>state</th>"
+            "<th>retries</th><th class='l'>error</th></tr>"
+        )
+        for row in troubled:
+            parts.append(
+                f"<tr><td class='l'>{esc(row['run'])}</td>"
+                f"<td class='l state-{esc(row['state'])}'>{esc(row['state'])}</td>"
+                f"<td>{row['retries']}</td><td class='l'>{esc(row['error'] or '-')}</td></tr>"
+            )
+        parts.append("</table>")
+    else:
+        parts.append("<p>none — every run completed on its first attempt.</p>")
+    parts.append("</body></html>")
+    return "".join(parts)
 
 
 def render_headline_claims(data: FigureData) -> str:

@@ -4,7 +4,7 @@ the figures need."""
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.apps.workload import build_workload
 from repro.experiments.config import ExperimentConfig
@@ -12,11 +12,36 @@ from repro.experiments.variants import get_variant
 from repro.faults.audit import InvariantAuditor, run_with_watchdog, write_repro_bundle
 from repro.faults.injectors import FaultInjector
 from repro.metrics.collectors import EventCounterCollector, QueueOccupancyCollector
+from repro.obs.sketch import sketch_from_samples
 from repro.obs.telemetry import Telemetry
 from repro.rdcn.config import NotifierConfig
 from repro.rdcn.topology import TwoRackTestbed, build_two_rack_testbed
 from repro.sim.simulator import Simulator
 from repro.units import throughput_gbps
+
+
+# Process-wide heartbeat hook installed by the executor (directly for
+# inline runs, via the worker initializer for pooled runs). It lives in
+# module state rather than ExperimentConfig because liveness reporting
+# must not perturb cache keys or run semantics.
+_WORKER_HEARTBEAT: Optional[Tuple[Callable[[int, int, float, int], None], int]] = None
+
+
+def set_worker_heartbeat(
+    fn: Optional[Callable[[int, int, float, int], None]], every_events: int = 0
+) -> None:
+    """Install (or clear, with ``fn=None``) the heartbeat hook every
+    subsequent :func:`run_experiment` in this process wires onto its
+    simulator: ``fn(sim_now, lifetime_events, events_per_s,
+    pending_events)`` every ``every_events`` processed events, plus one
+    final flush per run."""
+    global _WORKER_HEARTBEAT
+    if fn is None:
+        _WORKER_HEARTBEAT = None
+        return
+    if every_events < 1:
+        raise ValueError("every_events must be >= 1")
+    _WORKER_HEARTBEAT = (fn, every_events)
 
 
 @dataclass
@@ -78,6 +103,10 @@ class ExperimentResult:
     fast_recoveries: int = 0
     reinjections: int = 0
     notification_latencies: List[int] = field(default_factory=list)
+    # Streaming aggregates: name -> serialized QuantileSketch state
+    # (repro.obs.sketch). Constant-memory summaries that merge exactly
+    # across runs — the campaign dashboard's percentile source.
+    sketches: Dict[str, dict] = field(default_factory=dict)
     # Telemetry outputs (populated when config.obs is set): artifact
     # paths written by Telemetry.finish() and the profiler's report.
     artifacts: List[str] = field(default_factory=list)
@@ -132,6 +161,7 @@ class ExperimentResult:
             "fast_recoveries": self.fast_recoveries,
             "reinjections": self.reinjections,
             "notification_latencies": list(self.notification_latencies),
+            "sketches": dict(self.sketches),
             "artifacts": list(self.artifacts),
             "profile_report": self.profile_report,
             "events_per_second": self.events_per_second,
@@ -210,6 +240,13 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
 
     testbed = build_two_rack_testbed(rdcn, sim=sim, ecn=variant.needs_ecn)
 
+    # Campaign liveness: wire the process-wide heartbeat hook (if any)
+    # onto this run's simulator. Heartbeats never alter simulation
+    # behavior — the hook only reads clock/counters.
+    heartbeat = _WORKER_HEARTBEAT
+    if heartbeat is not None:
+        testbed.sim.set_heartbeat(heartbeat[0], heartbeat[1])
+
     # Fault arming happens before variant/workload construction so the
     # injector's deliver-wrappers sit underneath everything.
     injector: Optional[FaultInjector] = None
@@ -272,7 +309,10 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         )
         if auditor is not None:
             auditor.audit()  # final sweep at the horizon
+        # Guarantee >= 1 heartbeat per executed run, however short.
+        testbed.sim.flush_heartbeat()
     except Exception as error:
+        testbed.sim.flush_heartbeat()
         bundle_path: Optional[str] = None
         try:
             bundle_path = write_repro_bundle(
@@ -340,6 +380,17 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         config.weeks, config.warmup_weeks
     )
     result.notification_latencies = list(testbed.notifier.delivery_latency_samples)
+    result.sketches = {
+        "notify_latency_ns": sketch_from_samples(
+            float(v) for v in result.notification_latencies
+        ).to_dict(),
+        "retx_marks_per_day": sketch_from_samples(
+            float(v) for v in result.retx_marks_per_day
+        ).to_dict(),
+        "reordering_per_day": sketch_from_samples(
+            float(v) for v in result.reordering_per_day
+        ).to_dict(),
+    }
     if telemetry is not None:
         result.artifacts = telemetry.finish()
         result.profile_report = telemetry.profile_report()

@@ -5,8 +5,12 @@ evaluation relied on (``ss -ti`` dumps, ``tcp_probe``-style probes):
 
 * :mod:`repro.obs.tracepoints` — named probe points that cost one
   attribute check when disabled;
-* :mod:`repro.obs.metrics` — counters, gauges, and log-scale histograms
-  with label support;
+* :mod:`repro.obs.metrics` — counters, gauges, log-scale histograms,
+  and quantile-sketch families with label support;
+* :mod:`repro.obs.sketch` — mergeable constant-memory quantile sketches
+  (DDSketch-style) and streaming moment stats;
+* :mod:`repro.obs.campaign` — the run-lifecycle event bus (JSONL
+  campaign log, worker heartbeats, live TTY view);
 * :mod:`repro.obs.exporters` — JSONL, Chrome trace-event JSON
   (Perfetto-loadable, TDNs as tracks), and CSV time series;
 * :mod:`repro.obs.profiling` — per-callback wall-time attribution for
@@ -17,14 +21,39 @@ See ``docs/observability.md`` for the tracepoint catalog and the
 mapping to the paper's kernel probes.
 """
 
+from repro.obs.campaign import (
+    CAMPAIGN_SCHEMA_VERSION,
+    CampaignLog,
+    LiveCampaignView,
+    campaign_summary,
+    read_campaign,
+    validate_record,
+    validate_records,
+)
 from repro.obs.exporters import (
     MemoryExporter,
     render_chrome_trace,
     render_jsonl,
     write_csv_series,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, log2_bucket
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Sketch,
+    ZERO_BUCKET,
+    bucket_upper_bound,
+    log2_bucket,
+)
 from repro.obs.profiling import SimulatorProfiler
+from repro.obs.sketch import (
+    DEFAULT_ALPHA,
+    PERCENTILE_LABELS,
+    QuantileSketch,
+    StreamStats,
+    sketch_from_samples,
+)
 from repro.obs.telemetry import DISABLED, ObsConfig, Telemetry
 from repro.obs.tracepoints import (
     NULL_TRACEPOINT,
@@ -34,21 +63,36 @@ from repro.obs.tracepoints import (
 )
 
 __all__ = [
+    "CAMPAIGN_SCHEMA_VERSION",
+    "CampaignLog",
     "Counter",
+    "DEFAULT_ALPHA",
     "DISABLED",
     "Gauge",
     "Histogram",
+    "LiveCampaignView",
     "MemoryExporter",
     "MetricsRegistry",
     "NULL_TRACEPOINT",
     "ObsConfig",
+    "PERCENTILE_LABELS",
+    "QuantileSketch",
     "SimulatorProfiler",
+    "Sketch",
+    "StreamStats",
     "TRACEPOINT_CATALOG",
     "Telemetry",
     "Tracepoint",
     "TracepointRegistry",
+    "ZERO_BUCKET",
+    "bucket_upper_bound",
+    "campaign_summary",
     "log2_bucket",
+    "read_campaign",
     "render_chrome_trace",
     "render_jsonl",
+    "sketch_from_samples",
+    "validate_record",
+    "validate_records",
     "write_csv_series",
 ]

@@ -1,0 +1,411 @@
+"""Campaign observability: the run-lifecycle event bus.
+
+A *campaign* is one executor batch — a figure, a sweep, or a
+variants × seeds grid — observed while it runs. The ROADMAP's sweep
+fabric requires that "a 10k-run campaign is observable while it runs";
+this module is the transport and the vocabulary:
+
+* :class:`CampaignLog` — an append-only JSONL event bus. Every record
+  is a key-sorted JSON object with a monotonic ``seq``, flushed per
+  line so ``tail -f`` (and the live renderer) see events as they
+  happen. Subscribers attached to the log receive each record in
+  process, so the same stream drives the file, the live TTY view, and
+  tests.
+* The **event schema** (:data:`EVENT_SCHEMA`): ``campaign_start``,
+  ``queued``, ``started``, ``heartbeat``, ``cache_hit``, ``retry``,
+  ``finished``, ``failed``, ``campaign_end``. :func:`validate_record` /
+  :func:`validate_records` check field presence, types, and seq
+  monotonicity — CI validates every record of a smoke campaign.
+* :func:`campaign_summary` — a deterministic digest: wall-clock-derived
+  fields (:data:`WALL_FIELDS`) are stripped and runs are keyed by
+  label, so two identical seeded campaigns produce **byte-identical**
+  summaries no matter how their events interleaved across workers.
+* :class:`LiveCampaignView` — a TTY renderer for ``--live``: per-run
+  state, EWMA-based ETA, cache-hit rate, and worker utilization,
+  repainted in place from the event stream.
+
+Heartbeats originate in :meth:`repro.sim.simulator.Simulator.run` (the
+``set_heartbeat`` hook) and are relayed by the executor — over a
+multiprocessing queue for pooled workers, directly for inline runs.
+Every executed run emits at least one heartbeat (a final flush fires at
+run end), so a silent worker is always distinguishable from a short
+run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Dict, IO, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "CAMPAIGN_SCHEMA_VERSION",
+    "EVENT_SCHEMA",
+    "EVENT_TYPES",
+    "TERMINAL_EVENTS",
+    "WALL_FIELDS",
+    "CampaignLog",
+    "LiveCampaignView",
+    "campaign_summary",
+    "read_campaign",
+    "validate_record",
+    "validate_records",
+]
+
+#: Bumped when record shapes change; stamped on ``campaign_start``.
+CAMPAIGN_SCHEMA_VERSION = 1
+
+_NUM = (int, float)
+
+#: event type -> {field: allowed types}. Fields beyond the schema are
+#: permitted (the schema is a floor, like the tracepoint catalog);
+#: missing or mistyped required fields fail validation.
+EVENT_SCHEMA: Dict[str, Dict[str, tuple]] = {
+    "campaign_start": {"schema": (int,), "total": (int,), "jobs": (int,)},
+    "queued": {"run": (str,), "index": (int,), "total": (int,)},
+    "started": {"run": (str,), "attempt": (int,)},
+    "heartbeat": {
+        "run": (str,),
+        "sim_now": (int,),
+        "events": (int,),
+        "events_per_s": _NUM,
+        "pending_events": (int,),
+    },
+    "cache_hit": {"run": (str,), "index": (int,)},
+    "retry": {"run": (str,), "attempt": (int,)},
+    "finished": {"run": (str,), "outcome": (str,)},
+    "failed": {"run": (str,), "error_type": (str,), "error_message": (str,)},
+    "campaign_end": {"stats": (dict,)},
+}
+
+EVENT_TYPES = tuple(EVENT_SCHEMA)
+
+#: Events that end a run's lifecycle.
+TERMINAL_EVENTS = ("cache_hit", "finished", "failed")
+
+#: Wall-clock-derived fields, stripped (recursively) by
+#: :func:`campaign_summary` so summaries of identical seeded campaigns
+#: compare byte-identical.
+WALL_FIELDS = ("wall_ms", "wall_s", "events_per_s", "eta_s")
+
+
+def validate_record(record: Any) -> List[str]:
+    """Schema errors of one parsed record ([] when valid)."""
+    errors: List[str] = []
+    if not isinstance(record, dict):
+        return [f"record is not an object: {type(record).__name__}"]
+    event = record.get("event")
+    if event not in EVENT_SCHEMA:
+        return [f"unknown event type {event!r}"]
+    if not isinstance(record.get("seq"), int) or record["seq"] < 0:
+        errors.append(f"{event}: seq must be a non-negative int")
+    if not isinstance(record.get("wall_ms"), _NUM):
+        errors.append(f"{event}: wall_ms must be a number")
+    for name, types in EVENT_SCHEMA[event].items():
+        if name not in record:
+            errors.append(f"{event}: missing field {name!r}")
+        elif not isinstance(record[name], types):
+            errors.append(
+                f"{event}: field {name!r} has type "
+                f"{type(record[name]).__name__}, expected {'/'.join(t.__name__ for t in types)}"
+            )
+    return errors
+
+
+def validate_records(records: Sequence[dict]) -> List[str]:
+    """Validate a whole campaign stream: per-record schema plus the
+    cross-record invariants (strictly monotonic ``seq``, start first)."""
+    errors: List[str] = []
+    last_seq = -1
+    for position, record in enumerate(records):
+        for error in validate_record(record):
+            errors.append(f"record {position}: {error}")
+        seq = record.get("seq")
+        if isinstance(seq, int):
+            if seq <= last_seq:
+                errors.append(
+                    f"record {position}: seq {seq} not strictly greater than {last_seq}"
+                )
+            last_seq = max(last_seq, seq)
+    if records and records[0].get("event") != "campaign_start":
+        errors.append("record 0: campaign must open with campaign_start")
+    return errors
+
+
+def read_campaign(path) -> List[dict]:
+    """Parse a campaign JSONL file into record dicts."""
+    records: List[dict] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+class CampaignLog:
+    """Append-only, key-sorted JSONL event bus with a monotonic ``seq``.
+
+    ``path=None`` keeps the bus purely in process (subscribers still
+    fire) — the live renderer without a log file. Records carry
+    ``wall_ms`` (milliseconds since the log opened); every field that
+    depends on wall time is listed in :data:`WALL_FIELDS` so
+    deterministic digests can strip them.
+    """
+
+    def __init__(self, path=None, clock: Callable[[], float] = time.monotonic) -> None:
+        self.path = str(path) if path is not None else None
+        self._clock = clock
+        self._started = clock()
+        self._seq = 0
+        self._subscribers: List[Callable[[dict], None]] = []
+        self._handle: Optional[IO[str]] = None
+        self.records: List[dict] = []
+        if self.path is not None:
+            self._handle = open(self.path, "w")
+
+    def subscribe(self, fn: Callable[[dict], None]) -> None:
+        """Receive every record as it is emitted (in process)."""
+        self._subscribers.append(fn)
+
+    def emit(self, event: str, **fields: Any) -> dict:
+        """Append one record; returns the record dict."""
+        if event not in EVENT_SCHEMA:
+            raise ValueError(f"unknown campaign event {event!r}")
+        record = dict(fields)
+        record["event"] = event
+        record["seq"] = self._seq
+        record["wall_ms"] = round((self._clock() - self._started) * 1000.0, 3)
+        self._seq += 1
+        self.records.append(record)
+        if self._handle is not None:
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._handle.flush()  # live tailing sees events as they happen
+        for fn in self._subscribers:
+            fn(record)
+        return record
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CampaignLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _strip_wall(value: Any) -> Any:
+    if isinstance(value, dict):
+        return {
+            key: _strip_wall(item)
+            for key, item in value.items()
+            if key not in WALL_FIELDS
+        }
+    if isinstance(value, list):
+        return [_strip_wall(item) for item in value]
+    return value
+
+
+def campaign_summary(records: Sequence[dict]) -> dict:
+    """Deterministic digest of a campaign stream.
+
+    Wall-time fields are stripped and ordering artifacts removed (runs
+    are keyed by label, counters are order-free), so two identical
+    seeded campaigns — whatever their worker interleaving — summarize
+    byte-identically under ``json.dumps(..., sort_keys=True)``.
+    """
+    runs: Dict[str, dict] = {}
+    counts: Dict[str, int] = {}
+    stats: Optional[dict] = None
+    total = 0
+    for record in records:
+        event = record.get("event")
+        counts[event] = counts.get(event, 0) + 1
+        if event == "campaign_start":
+            # One log may carry several batches; totals accumulate.
+            total += record.get("total", 0)
+            continue
+        if event == "campaign_end":
+            batch_stats = _strip_wall(record.get("stats", {}))
+            if stats is None:
+                stats = batch_stats
+            else:  # several batches: numeric counters accumulate
+                for key, value in batch_stats.items():
+                    if isinstance(value, (int, float)) and isinstance(
+                        stats.get(key), (int, float)
+                    ):
+                        stats[key] += value
+                    else:
+                        stats[key] = value
+            continue
+        label = record.get("run")
+        if not label:
+            continue
+        run = runs.setdefault(
+            label,
+            {
+                "state": "queued",
+                "attempts": 0,
+                "retries": 0,
+                "heartbeats": 0,
+                "cache_hit": False,
+                "last_heartbeat": None,
+            },
+        )
+        if event == "queued":
+            run["index"] = record.get("index")
+            if "variant" in record:
+                run["variant"] = record["variant"]
+            if "seed" in record:
+                run["seed"] = record["seed"]
+        elif event == "started":
+            run["attempts"] += 1
+            run["state"] = "running"
+        elif event == "retry":
+            run["retries"] += 1
+            run["state"] = "retrying"
+        elif event == "heartbeat":
+            run["heartbeats"] += 1
+            run["last_heartbeat"] = {
+                "sim_now": record.get("sim_now"),
+                "events": record.get("events"),
+                "pending_events": record.get("pending_events"),
+            }
+        elif event == "cache_hit":
+            run["cache_hit"] = True
+            run["state"] = "cached"
+        elif event == "finished":
+            run["state"] = "finished"
+            run["outcome"] = record.get("outcome")
+            if "sketches" in record:
+                run["sketches"] = record["sketches"]
+        elif event == "failed":
+            run["state"] = "failed"
+            run["error_type"] = record.get("error_type")
+    return {
+        "schema": CAMPAIGN_SCHEMA_VERSION,
+        "total": total,
+        "event_counts": {name: counts[name] for name in sorted(counts)},
+        "runs": {label: runs[label] for label in sorted(runs)},
+        "stats": stats,
+    }
+
+
+class LiveCampaignView:
+    """``--live``: repaint campaign progress in place on a TTY.
+
+    Shows done/total with an EWMA-based ETA, the cache-hit rate, worker
+    utilization (running / jobs), and one line per in-flight run with
+    its latest heartbeat (sim time, events, events/s). Subscribes to a
+    :class:`CampaignLog`; when the stream isn't a TTY the caller should
+    keep the plain per-event stderr lines instead (the CLI does).
+    """
+
+    #: EWMA gain for the per-completion interval (like TCP's SRTT 1/8).
+    GAIN = 0.25
+    #: Minimum seconds between heartbeat-driven repaints.
+    REPAINT_S = 0.1
+
+    def __init__(
+        self,
+        stream,
+        jobs: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        max_run_lines: int = 8,
+    ) -> None:
+        self.stream = stream
+        self.jobs = max(jobs, 1)
+        self._clock = clock
+        self.max_run_lines = max_run_lines
+        self.total = 0
+        self.done = 0
+        self.cache_hits = 0
+        self.failures = 0
+        self.retries = 0
+        self._running: Dict[str, dict] = {}
+        self._ewma_s: Optional[float] = None
+        self._last_done_wall: Optional[float] = None
+        self._last_paint = 0.0
+        self._painted_lines = 0
+
+    # ------------------------------------------------------------------
+    def on_record(self, record: dict) -> None:
+        """CampaignLog subscriber entry point."""
+        event = record["event"]
+        if event == "campaign_start":
+            self.total = record.get("total", 0)
+            self.jobs = max(record.get("jobs", self.jobs), 1)
+            self._last_done_wall = self._clock()
+        elif event in ("started", "retry"):
+            self._running.setdefault(record["run"], {})
+        elif event == "heartbeat":
+            state = self._running.setdefault(record["run"], {})
+            state["sim_now"] = record.get("sim_now")
+            state["events"] = record.get("events")
+            state["events_per_s"] = record.get("events_per_s")
+            if event == "heartbeat" and self._clock() - self._last_paint < self.REPAINT_S:
+                return
+        if event in TERMINAL_EVENTS:
+            self.done += 1
+            self._running.pop(record["run"], None)
+            if event == "cache_hit":
+                self.cache_hits += 1
+            elif event == "failed":
+                self.failures += 1
+            now = self._clock()
+            if self._last_done_wall is not None:
+                interval = now - self._last_done_wall
+                if self._ewma_s is None:
+                    self._ewma_s = interval
+                else:
+                    self._ewma_s += self.GAIN * (interval - self._ewma_s)
+            self._last_done_wall = now
+        elif event == "retry":
+            self.retries += 1
+        self.paint(final=event == "campaign_end")
+
+    # ------------------------------------------------------------------
+    def eta_s(self) -> Optional[float]:
+        """EWMA completion-interval ETA for the remaining runs."""
+        if self._ewma_s is None or self.total == 0:
+            return None
+        return (self.total - self.done) * self._ewma_s
+
+    def _lines(self) -> List[str]:
+        utilization = min(len(self._running) / self.jobs, 1.0)
+        hit_rate = self.cache_hits / self.done if self.done else 0.0
+        eta = self.eta_s()
+        eta_text = f"{eta:6.1f}s" if eta is not None else "   ?  "
+        lines = [
+            f"campaign [{self.done}/{self.total}] "
+            f"eta {eta_text}  cache {hit_rate * 100:3.0f}%  "
+            f"workers {len(self._running)}/{self.jobs} ({utilization * 100:3.0f}%)  "
+            f"retries {self.retries}  failures {self.failures}"
+        ]
+        for label in sorted(self._running)[: self.max_run_lines]:
+            state = self._running[label]
+            if state.get("sim_now") is not None:
+                rate = state.get("events_per_s") or 0.0
+                lines.append(
+                    f"  {label:<28} sim {state['sim_now'] / 1e6:9.2f} ms  "
+                    f"{state.get('events', 0):>10,} ev  {rate / 1e3:7.1f}k ev/s"
+                )
+            else:
+                lines.append(f"  {label:<28} starting…")
+        hidden = len(self._running) - self.max_run_lines
+        if hidden > 0:
+            lines.append(f"  … and {hidden} more")
+        return lines
+
+    def paint(self, final: bool = False) -> None:
+        self._last_paint = self._clock()
+        # Move up over the previous block and repaint in place.
+        if self._painted_lines:
+            self.stream.write(f"\x1b[{self._painted_lines}F\x1b[J")
+        lines = self._lines()
+        self.stream.write("\n".join(lines) + "\n")
+        self.stream.flush()
+        self._painted_lines = 0 if final else len(lines)

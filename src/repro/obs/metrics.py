@@ -13,6 +13,8 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs.sketch import DEFAULT_ALPHA, QuantileSketch
+
 LabelValues = Tuple[Any, ...]
 
 
@@ -90,12 +92,28 @@ class Gauge(Metric):
         return self._series.get(self._key(labels))
 
 
+#: Values <= 0 (or denormal-small) land here; rendered with upper
+#: bound 0.0. Sub-1 positive values get real negative indices down to
+#: ``ZERO_BUCKET + 1`` (2**-63 ~ 1e-19 — far below any simulated
+#: quantity), so second-scale FCTs expressed in seconds stay
+#: distinguishable instead of collapsing into one bucket.
+ZERO_BUCKET = -64
+
+
 def log2_bucket(value: float) -> int:
     """Bucket index for a log-scale histogram: the smallest ``k`` with
-    ``value <= 2**k`` (0 for values <= 1; negatives clamp to 0)."""
-    if value <= 1:
-        return 0
-    return max(math.ceil(math.log2(value)), 0)
+    ``value <= 2**k``. Sub-1 values get negative indices (0.5 -> -1,
+    0.3 -> -1, 0.25 -> -2, ...); zero and negative values land in the
+    dedicated :data:`ZERO_BUCKET`."""
+    if value <= 0:
+        return ZERO_BUCKET
+    return max(math.ceil(math.log2(value)), ZERO_BUCKET + 1)
+
+
+def bucket_upper_bound(index: int) -> float:
+    """The inclusive upper bound a bucket index renders as (0.0 for the
+    zero bucket)."""
+    return 0.0 if index <= ZERO_BUCKET else float(2.0 ** index)
 
 
 class _HistogramState:
@@ -144,16 +162,20 @@ class Histogram(Metric):
         running = 0
         for index in sorted(state.buckets):
             running += state.buckets[index]
-            pairs.append((float(2 ** index), running))
+            pairs.append((bucket_upper_bound(index), running))
         return pairs
 
     def quantile(self, q: float, **labels: Any) -> Optional[float]:
-        """Upper bound of the bucket containing the q-quantile."""
+        """Upper bound of the bucket containing the q-quantile
+        (``q=0.0`` returns the exact observed minimum)."""
         if not (0.0 <= q <= 1.0):
             raise ValueError("quantile must be in [0, 1]")
-        pairs = self.buckets(**labels)
-        if not pairs:
+        state = self._series.get(self._key(labels))
+        if state is None or state.count == 0:
             return None
+        if q == 0.0:
+            return state.minimum
+        pairs = self.buckets(**labels)
         target = q * pairs[-1][1]
         for upper, cumulative in pairs:
             if cumulative >= target:
@@ -167,9 +189,74 @@ class Histogram(Metric):
             "min": state.minimum,
             "max": state.maximum,
             "buckets": [
-                {"le": float(2 ** index), "count": state.buckets[index]}
+                {"le": bucket_upper_bound(index), "count": state.buckets[index]}
                 for index in sorted(state.buckets)
             ],
+        }
+
+
+class Sketch(Metric):
+    """A labelled family of :class:`~repro.obs.sketch.QuantileSketch`\\ s.
+
+    Unlike :class:`Histogram`'s fixed power-of-two buckets, a sketch
+    series guarantees *relative* accuracy (``alpha``) at every scale and
+    merges exactly across workers — the snapshot reports p50/p90/p99/
+    p999 alongside the full serialized state, so per-worker snapshots
+    can be recombined without losing resolution.
+    """
+
+    kind = "sketch"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Tuple[str, ...] = (),
+        alpha: float = DEFAULT_ALPHA,
+    ):
+        super().__init__(name, help=help, labelnames=labelnames)
+        self.alpha = alpha
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        state = self._series.get(key)
+        if state is None:
+            state = self._series[key] = QuantileSketch(alpha=self.alpha)
+        state.add(value)
+
+    def sketch(self, **labels: Any) -> Optional[QuantileSketch]:
+        """The underlying sketch of one label combination (None if the
+        series never observed a value)."""
+        return self._series.get(self._key(labels))
+
+    def count(self, **labels: Any) -> int:
+        state = self._series.get(self._key(labels))
+        return state.count if state is not None else 0
+
+    def quantile(self, q: float, **labels: Any) -> Optional[float]:
+        state = self._series.get(self._key(labels))
+        return state.quantile(q) if state is not None else None
+
+    def merge_series(self, other: "Sketch") -> None:
+        """Fold every series of ``other`` into this family (exact —
+        bucket counts are integers)."""
+        if other.labelnames != self.labelnames or other.alpha != self.alpha:
+            raise ValueError(f"sketch family {self.name!r}: shape mismatch on merge")
+        for key, state in other._series.items():
+            mine = self._series.get(key)
+            if mine is None:
+                self._series[key] = QuantileSketch.from_dict(state.to_dict())
+            else:
+                mine.merge(state)
+
+    def _series_value(self, state: QuantileSketch) -> Any:
+        return {
+            "count": state.count,
+            "sum": state.stats.total,
+            "min": state.stats.minimum,
+            "max": state.stats.maximum,
+            "percentiles": state.percentiles(),
+            "state": state.to_dict(),
         }
 
 
@@ -200,6 +287,28 @@ class MetricsRegistry:
     def histogram(self, name: str, help: str = "", labelnames: Tuple[str, ...] = ()) -> Histogram:
         """Get-or-create a histogram family."""
         return self._register(Histogram, name, help, labelnames)
+
+    def sketch(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Tuple[str, ...] = (),
+        alpha: float = DEFAULT_ALPHA,
+    ) -> Sketch:
+        """Get-or-create a quantile-sketch family (relative accuracy
+        ``alpha``; snapshot reports p50/p90/p99/p999)."""
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if (
+                not isinstance(existing, Sketch)
+                or existing.labelnames != tuple(labelnames)
+                or existing.alpha != alpha
+            ):
+                raise ValueError(f"metric {name!r} already registered with a different shape")
+            return existing
+        metric = Sketch(name, help=help, labelnames=labelnames, alpha=alpha)
+        self._metrics[name] = metric
+        return metric
 
     def get(self, name: str) -> Optional[Metric]:
         return self._metrics.get(name)

@@ -29,11 +29,18 @@ class Simulator:
       :meth:`run`.
     * ``telemetry`` — set by :meth:`repro.obs.telemetry.Telemetry.attach`;
       instrumented objects discover it via ``Telemetry.of(sim)``.
+    * heartbeat — :meth:`set_heartbeat` installs a worker-liveness hook
+      fired every ~N processed events with
+      ``(sim_now, lifetime_events, events_per_s, pending_events)``; the
+      campaign layer relays it across process boundaries.
     """
 
     # ``sim.now`` is the single most-read attribute in the simulator;
     # slots keep that lookup off the instance-dict path.
-    __slots__ = ("now", "_queue", "_running", "_event_count", "profiler", "telemetry")
+    __slots__ = (
+        "now", "_queue", "_running", "_event_count", "profiler", "telemetry",
+        "_hb_fn", "_hb_every", "_hb_next", "_hb_last_events", "_hb_last_wall",
+    )
 
     def __init__(self) -> None:
         self.now: int = 0
@@ -42,6 +49,11 @@ class Simulator:
         self._event_count = 0
         self.profiler: Optional[Any] = None
         self.telemetry: Optional[Any] = None
+        self._hb_fn: Optional[Callable[[int, int, float, int], None]] = None
+        self._hb_every: int = 0
+        self._hb_next: int = 1 << 62
+        self._hb_last_events: int = 0
+        self._hb_last_wall: float = 0.0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -76,6 +88,47 @@ class Simulator:
         Equivalent to ``event.cancel()`` — the event itself keeps the
         queue's live count exact, so either spelling is safe."""
         event.cancel()
+
+    # ------------------------------------------------------------------
+    # Heartbeats
+    # ------------------------------------------------------------------
+    def set_heartbeat(self, fn: Callable[[int, int, float, int], None], every_events: int) -> None:
+        """Install a liveness hook: ``fn(sim_now, lifetime_events,
+        events_per_s, pending_events)`` fires every ``every_events``
+        processed events (checked between timestamps, so the cadence is
+        approximate; same-timestamp batches never split).
+
+        The hook is None by default and its check is hoisted once per
+        run, so an un-heartbeated run pays a single pointer comparison
+        per timestamp — see docs/performance.md for the measured cost.
+        """
+        if every_events < 1:
+            raise ValueError("every_events must be >= 1")
+        self._hb_fn = fn
+        self._hb_every = every_events
+        self._hb_next = self._event_count + every_events
+        self._hb_last_events = self._event_count
+        self._hb_last_wall = perf_counter()
+
+    def clear_heartbeat(self) -> None:
+        self._hb_fn = None
+        self._hb_next = 1 << 62
+
+    def flush_heartbeat(self) -> None:
+        """Fire the heartbeat hook immediately (used at end of run so
+        every executed run emits at least one heartbeat)."""
+        if self._hb_fn is not None:
+            self._fire_heartbeat(self._event_count)
+
+    def _fire_heartbeat(self, total_events: int) -> None:
+        wall = perf_counter()
+        delta_wall = wall - self._hb_last_wall
+        delta_events = total_events - self._hb_last_events
+        events_per_s = delta_events / delta_wall if delta_wall > 0 else 0.0
+        self._hb_last_events = total_events
+        self._hb_last_wall = wall
+        self._hb_next = total_events + self._hb_every
+        self._hb_fn(self.now, total_events, events_per_s, len(self._queue))
 
     # ------------------------------------------------------------------
     # Execution
@@ -113,6 +166,8 @@ class Simulator:
         profiler = self.profiler
         if profiler is not None:
             profiler.run_started()
+        hb_fn = self._hb_fn
+        base_events = self._event_count
         queue = self._queue
         heap = queue._heap
         heappop = _heappop
@@ -231,6 +286,10 @@ class Simulator:
                         event.fn = None
                         event.args = None
                         pool.append(event)
+                # Heartbeat: checked once per drained timestamp (cheap
+                # pointer test when no hook is installed, the default).
+                if hb_fn is not None and base_events + processed >= self._hb_next:
+                    self._fire_heartbeat(base_events + processed)
         finally:
             self._running = False
             self._event_count += processed

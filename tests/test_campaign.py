@@ -1,0 +1,363 @@
+"""Campaign observability: the JSONL event bus, schema validation,
+executor lifecycle events, worker heartbeats (inline and pooled),
+deterministic summaries, the live TTY view, and the dashboard
+renderers."""
+
+import importlib.util
+import io
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments import executor as executor_mod
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.executor import ExperimentExecutor
+from repro.experiments.report import (
+    merge_campaign_sketches,
+    render_campaign,
+    render_campaign_html,
+)
+from repro.experiments.runner import ExperimentResult, RunFailure
+from repro.obs.campaign import (
+    CAMPAIGN_SCHEMA_VERSION,
+    CampaignLog,
+    LiveCampaignView,
+    campaign_summary,
+    read_campaign,
+    validate_record,
+    validate_records,
+)
+from repro.obs.sketch import QuantileSketch
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def small_config(**overrides):
+    kwargs = dict(variant="cubic", weeks=4, warmup_weeks=1, n_flows=2, seed=1)
+    kwargs.update(overrides)
+    return ExperimentConfig(**kwargs)
+
+
+def failing_payload(payload: dict) -> dict:
+    config = ExperimentConfig.from_dict(payload)
+    result = ExperimentResult(config=config, duration_ns=config.duration_ns)
+    result.failure = RunFailure("Boom", "synthetic crash", config.seed, None, None)
+    return result.to_dict()
+
+
+def run_campaign(configs, path=None, jobs=1, heartbeat_events=5_000, **executor_kwargs):
+    campaign = CampaignLog(path)
+    executor = ExperimentExecutor(
+        jobs=jobs,
+        campaign=campaign,
+        heartbeat_events=heartbeat_events,
+        **executor_kwargs,
+    )
+    results = executor.run_batch(configs)
+    campaign.close()
+    return campaign, results
+
+
+def events_of(records, kind):
+    return [r for r in records if r["event"] == kind]
+
+
+class TestCampaignLog:
+    def test_jsonl_lines_are_key_sorted_with_monotonic_seq(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        with CampaignLog(path) as log:
+            log.emit("campaign_start", schema=CAMPAIGN_SCHEMA_VERSION, total=1, jobs=1)
+            log.emit("queued", run="a", index=0, total=1, variant="cubic", seed=1)
+            log.emit("started", run="a", attempt=1)
+            log.emit("finished", run="a", outcome="ok")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 4
+        for line in lines:
+            assert line == json.dumps(json.loads(line), sort_keys=True)
+        records = read_campaign(path)
+        assert [r["seq"] for r in records] == [0, 1, 2, 3]
+        assert validate_records(records) == []
+
+    def test_unknown_event_raises(self):
+        with pytest.raises(ValueError):
+            CampaignLog().emit("exploded")
+
+    def test_in_memory_bus_drives_subscribers(self):
+        log = CampaignLog()  # path=None: no file, subscribers still fire
+        seen = []
+        log.subscribe(seen.append)
+        record = log.emit("campaign_start", schema=1, total=0, jobs=1)
+        assert log.path is None
+        assert seen == [record] == log.records
+        assert record["wall_ms"] >= 0.0
+
+
+class TestValidation:
+    def test_unknown_event_type(self):
+        assert validate_record({"event": "nope", "seq": 0, "wall_ms": 0.0})
+
+    def test_missing_and_mistyped_fields(self):
+        errors = validate_record({"event": "heartbeat", "seq": 0, "wall_ms": 0.0,
+                                  "run": "a", "sim_now": "soon", "events": 1,
+                                  "events_per_s": 1.0})
+        assert any("pending_events" in e and "missing" in e for e in errors)
+        assert any("sim_now" in e and "type" in e for e in errors)
+
+    def test_cross_record_invariants(self):
+        good = {"event": "started", "seq": 5, "wall_ms": 1.0, "run": "a", "attempt": 1}
+        errors = validate_records([good, dict(good, seq=5)])
+        assert any("strictly greater" in e for e in errors)
+        assert any("campaign_start" in e for e in errors)
+
+
+class TestExecutorCampaign:
+    @pytest.fixture(scope="class")
+    def campaign_records(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("campaign") / "log.jsonl"
+        configs = [
+            small_config(variant="cubic", seed=1),
+            small_config(variant="mptcp", seed=1),
+            small_config(variant="cubic", seed=2),
+        ]
+        campaign, results = run_campaign(configs, path=path)
+        assert all(r.ok for r in results)
+        return read_campaign(path)
+
+    def test_stream_is_schema_valid(self, campaign_records):
+        assert validate_records(campaign_records) == []
+        assert campaign_records[0]["event"] == "campaign_start"
+        assert campaign_records[-1]["event"] == "campaign_end"
+
+    def test_full_lifecycle_per_run(self, campaign_records):
+        for label in ("cubic/seed1", "mptcp/seed1", "cubic/seed2"):
+            per_run = [r for r in campaign_records if r.get("run") == label]
+            kinds = [r["event"] for r in per_run]
+            assert kinds[0] == "queued"
+            assert "started" in kinds
+            assert kinds[-1] == "finished"
+
+    def test_every_executed_run_heartbeats(self, campaign_records):
+        executed = {r["run"] for r in campaign_records if r["event"] == "started"}
+        assert executed  # sanity
+        for label in executed:
+            beats = [r for r in campaign_records
+                     if r["event"] == "heartbeat" and r["run"] == label]
+            assert len(beats) >= 1
+            # Lifetime counters only ever grow.
+            events = [b["events"] for b in beats]
+            assert events == sorted(events)
+            assert all(isinstance(b["pending_events"], int) for b in beats)
+
+    def test_finished_events_carry_sketches(self, campaign_records):
+        finished = events_of(campaign_records, "finished")
+        assert finished
+        for record in finished:
+            sketch = QuantileSketch.from_dict(record["sketches"]["notify_latency_ns"])
+            assert sketch.count > 0
+
+    def test_campaign_end_stats(self, campaign_records):
+        stats = events_of(campaign_records, "campaign_end")[-1]["stats"]
+        assert stats["total"] == 3
+        assert stats["executed"] == 3
+        assert stats["failures"] == 0
+        assert stats["wall_s"] > 0.0
+
+    def test_cache_hits_emit_cache_hit_events(self, tmp_path):
+        configs = [small_config(seed=11), small_config(seed=12)]
+        run_campaign(configs, cache_dir=str(tmp_path / "cache"))
+        warm, results = run_campaign(configs, cache_dir=str(tmp_path / "cache"))
+        assert all(r.ok for r in results)
+        assert len(events_of(warm.records, "cache_hit")) == 2
+        assert events_of(warm.records, "started") == []
+        assert events_of(warm.records, "heartbeat") == []
+
+    def test_retry_and_failed_events(self, monkeypatch):
+        monkeypatch.setattr(executor_mod, "execute_config_dict", failing_payload)
+        campaign, results = run_campaign([small_config()], retries=2)
+        assert not results[0].ok
+        retries = events_of(campaign.records, "retry")
+        assert [r["attempt"] for r in retries] == [2, 3]
+        starts = events_of(campaign.records, "started")
+        assert [r["attempt"] for r in starts] == [1, 2, 3]
+        failed = events_of(campaign.records, "failed")[0]
+        assert failed["error_type"] == "Boom"
+        summary = campaign_summary(campaign.records)
+        run = summary["runs"]["cubic/seed1"]
+        assert run["state"] == "failed"
+        assert run["retries"] == 2
+        assert run["attempts"] == 3
+
+    def test_progress_counts_monotonic_through_retries(self, tmp_path, monkeypatch):
+        # Regression: the inline retry report used to hand progress
+        # done=0 after cache hits had already advanced the count.
+        cached = small_config(seed=21)
+        ExperimentExecutor(cache_dir=str(tmp_path / "c")).run_batch([cached])
+        monkeypatch.setattr(executor_mod, "execute_config_dict", failing_payload)
+        seen = []
+        executor = ExperimentExecutor(
+            cache_dir=str(tmp_path / "c"),
+            retries=1,
+            progress=lambda done, total, label, outcome: seen.append((done, outcome)),
+        )
+        executor.run_batch([cached, small_config(seed=22)])
+        dones = [done for done, _outcome in seen]
+        assert dones == sorted(dones)
+        assert ("retry" in {o for _d, o in seen})
+        retry_done = [d for d, o in seen if o == "retry"][0]
+        assert retry_done == 1  # the cached item already counted
+
+    def test_summaries_byte_identical_across_identical_campaigns(self):
+        configs = [small_config(seed=31), small_config(variant="mptcp", seed=31)]
+        first, _ = run_campaign(configs)
+        second, _ = run_campaign(configs)
+        encode = lambda c: json.dumps(campaign_summary(c.records), sort_keys=True)
+        assert encode(first) == encode(second)
+        # ...and heartbeats genuinely happened on both sides.
+        assert events_of(first.records, "heartbeat")
+
+    def test_pool_path_relays_heartbeats(self, tmp_path):
+        path = tmp_path / "pool.jsonl"
+        configs = [small_config(seed=41), small_config(seed=42)]
+        campaign, results = run_campaign(configs, path=path, jobs=2)
+        assert all(r.ok for r in results)
+        records = read_campaign(path)
+        assert validate_records(records) == []
+        for label in ("cubic/seed41", "cubic/seed42"):
+            beats = [r for r in records
+                     if r["event"] == "heartbeat" and r["run"] == label]
+            assert len(beats) >= 1
+            # All of a run's heartbeats land before its finished event.
+            finish_seq = [r["seq"] for r in records
+                          if r["event"] == "finished" and r["run"] == label][0]
+            assert all(b["seq"] < finish_seq for b in beats)
+
+
+class TestLiveView:
+    def make_view(self):
+        clock = iter(x * 0.5 for x in range(1000))
+        ticks = {"now": 0.0}
+
+        def fake_clock():
+            ticks["now"] = next(clock)
+            return ticks["now"]
+
+        stream = io.StringIO()
+        return LiveCampaignView(stream, jobs=2, clock=fake_clock), stream
+
+    def test_renders_state_eta_and_utilization(self):
+        view, stream = self.make_view()
+        log = CampaignLog(clock=lambda: 0.0)
+        log.subscribe(view.on_record)
+        log.emit("campaign_start", schema=1, total=2, jobs=2)
+        log.emit("queued", run="a", index=0, total=2)
+        log.emit("started", run="a", attempt=1)
+        log.emit("heartbeat", run="a", sim_now=10_000, events=5_000,
+                 events_per_s=1e6, pending_events=7)
+        log.emit("finished", run="a", outcome="ok")
+        log.emit("started", run="b", attempt=1)
+        log.emit("failed", run="b", error_type="Boom", error_message="x")
+        out = stream.getvalue()
+        assert "campaign [1/2]" in out
+        assert "workers 1/2" in out
+        assert "5,000 ev" in out  # the in-flight run's heartbeat line
+        assert view.done == 2
+        assert view.failures == 1
+        assert view.eta_s() is not None
+        assert "\x1b[" in out  # in-place repaint
+
+    def test_cache_hit_rate(self):
+        view, _stream = self.make_view()
+        view.on_record({"event": "campaign_start", "total": 2, "jobs": 1,
+                        "seq": 0, "wall_ms": 0.0})
+        view.on_record({"event": "cache_hit", "run": "a", "index": 0,
+                        "seq": 1, "wall_ms": 0.0})
+        assert view.cache_hits == 1
+        assert view.done == 1
+
+
+class TestDashboard:
+    @pytest.fixture(scope="class")
+    def records(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("dash") / "log.jsonl"
+        configs = [
+            small_config(variant="cubic", seed=51),
+            small_config(variant="mptcp", seed=51),
+            small_config(variant="cubic", seed=52),
+        ]
+        run_campaign(configs, path=path)
+        return read_campaign(path)
+
+    def test_merge_campaign_sketches_groups_by_variant(self, records):
+        merged = merge_campaign_sketches(records)
+        assert set(merged) >= {"notify_latency_ns", "retx_marks_per_day"}
+        by_variant = merged["notify_latency_ns"]
+        assert set(by_variant) == {"cubic", "mptcp"}
+        # cubic merges two seeds; each seed's count is positive.
+        assert by_variant["cubic"].count > by_variant["mptcp"].count / 2
+
+    def test_render_campaign_markdown(self, records):
+        text = render_campaign(records)
+        assert "# Campaign report" in text
+        assert "3 finished" in text
+        assert "notify_latency_ns" in text
+        assert "| cubic/seed51 |" in text
+        assert "## Failures & retries" in text
+        assert "none — every run completed" in text
+
+    def test_render_campaign_html(self, records):
+        html = render_campaign_html(records)
+        assert html.startswith("<!doctype html>")
+        assert "mptcp" in html
+        assert "heartbeats observed" in html
+        assert "state-finished" in html
+
+    def test_failed_run_appears_in_tables(self):
+        log = CampaignLog()
+        log.emit("campaign_start", schema=1, total=1, jobs=1)
+        log.emit("queued", run="x", index=0, total=1, variant="tdtcp", seed=1)
+        log.emit("started", run="x", attempt=1)
+        log.emit("retry", run="x", attempt=2)
+        log.emit("started", run="x", attempt=2)
+        log.emit("failed", run="x", error_type="Boom", error_message="<bad>")
+        text = render_campaign(log.records)
+        assert "| x | failed | 1 | Boom: <bad> |" in text
+        html = render_campaign_html(log.records)
+        assert "state-failed" in html
+        assert "&lt;bad&gt;" in html  # escaped
+
+
+class TestCampaignReportTool:
+    def load_tool(self):
+        spec = importlib.util.spec_from_file_location(
+            "campaign_report", ROOT / "tools" / "campaign_report.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_renders_and_validates(self, tmp_path, capsys):
+        log_path = tmp_path / "log.jsonl"
+        run_campaign([small_config(seed=61)], path=log_path)
+        tool = self.load_tool()
+        html = tmp_path / "dash.html"
+        md = tmp_path / "dash.md"
+        summary = tmp_path / "summary.json"
+        code = tool.main([str(log_path), "--html", str(html), "--markdown", str(md),
+                          "--summary-json", str(summary), "--validate", "--quiet"])
+        assert code == 0
+        assert html.read_text().startswith("<!doctype html>")
+        assert "# Campaign report" in md.read_text()
+        doc = json.loads(summary.read_text())
+        assert doc["schema"] == CAMPAIGN_SCHEMA_VERSION
+        assert doc["runs"]["cubic/seed61"]["state"] == "finished"
+        assert capsys.readouterr().err.strip().endswith("schema-valid")
+
+    def test_validate_rejects_bad_records(self, tmp_path, capsys):
+        log_path = tmp_path / "bad.jsonl"
+        run_campaign([small_config(seed=62)], path=log_path)
+        with open(log_path, "a") as handle:
+            handle.write(json.dumps({"event": "heartbeat", "seq": 0}) + "\n")
+        tool = self.load_tool()
+        assert tool.main([str(log_path), "--validate", "--quiet"]) == 1
+        assert "schema" in capsys.readouterr().err

@@ -10,12 +10,14 @@ from repro.experiments.runner import run_experiment
 from repro.obs import (
     DISABLED,
     NULL_TRACEPOINT,
+    ZERO_BUCKET,
     MemoryExporter,
     MetricsRegistry,
     ObsConfig,
     SimulatorProfiler,
     Telemetry,
     TracepointRegistry,
+    bucket_upper_bound,
     log2_bucket,
     render_chrome_trace,
     render_jsonl,
@@ -107,7 +109,8 @@ class TestMetrics:
             registry.gauge("x", labelnames=("a",))
 
     def test_log2_bucketing(self):
-        assert log2_bucket(0) == 0
+        assert log2_bucket(0) == ZERO_BUCKET
+        assert log2_bucket(-5) == ZERO_BUCKET
         assert log2_bucket(1) == 0
         assert log2_bucket(2) == 1
         assert log2_bucket(3) == 2
@@ -115,6 +118,26 @@ class TestMetrics:
         assert log2_bucket(5) == 3
         assert log2_bucket(1024) == 10
         assert log2_bucket(1025) == 11
+
+    def test_log2_bucketing_sub_one(self):
+        # Sub-1 values get real negative indices instead of collapsing
+        # into one bucket (second-scale FCTs expressed in seconds).
+        assert log2_bucket(0.5) == -1
+        assert log2_bucket(0.3) == -1
+        assert log2_bucket(0.25) == -2
+        assert log2_bucket(0.2) == -2
+        assert log2_bucket(1e-25) == ZERO_BUCKET + 1  # clamped, not zero
+        assert bucket_upper_bound(-1) == 0.5
+        assert bucket_upper_bound(ZERO_BUCKET) == 0.0
+
+    def test_histogram_quantile_zero_is_minimum(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat")
+        assert hist.quantile(0.0) is None  # no observations yet
+        for value in (3, 9, 100):
+            hist.observe(value)
+        assert hist.quantile(0.0) == 3  # exact minimum, not a bucket bound
+        assert hist.quantile(1.0) == 128.0
 
     def test_histogram_buckets_cumulative(self):
         registry = MetricsRegistry()
