@@ -31,8 +31,14 @@ from repro.experiments.report import (
     render_seq_graph,
     render_throughput_summary,
     render_voq_graph,
+    sweep_to_csv,
 )
-from repro.experiments.sweeps import day_length_sweep, duty_ratio_sweep
+from repro.experiments.sweeps import (
+    buffer_economics_sweep,
+    day_length_sweep,
+    duty_ratio_sweep,
+)
+from repro.net.queues import BUFFER_POLICIES
 
 FIGURES: Dict[str, Callable] = {
     "fig2": figures.fig2,
@@ -52,7 +58,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro.experiments.cli",
         description="Regenerate the TDTCP paper's figures on the simulator.",
     )
-    parser.add_argument("target", help="figure id (fig2..fig14-100g), 'chaos', 'sweep-ratio', 'sweep-day', or 'list'")
+    parser.add_argument("target", help="figure id (fig2..fig14-100g), 'chaos', 'sweep-ratio', 'sweep-day', 'sweep-buffer', or 'list'")
     parser.add_argument("--weeks", type=int, default=24, help="optical weeks to simulate")
     parser.add_argument("--warmup", type=int, default=8, help="warm-up weeks excluded from averages")
     parser.add_argument("--flows", type=int, default=8, help="parallel cross-rack flows")
@@ -127,6 +133,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="variant for the 'chaos' target (default: tdtcp)",
     )
     parser.add_argument(
+        "--buffer-policy", choices=BUFFER_POLICIES, default=None,
+        help="ToR buffer sharing policy override for figure runs; restricts 'sweep-buffer' to one policy",
+    )
+    parser.add_argument(
+        "--buffer-total", type=int, default=None,
+        help="total ToR buffer (packets) shared by the pool; restricts 'sweep-buffer' to one total",
+    )
+    parser.add_argument(
+        "--buffer-alpha", type=float, default=None,
+        help="dynamic-threshold alpha (admit while VOQ length < alpha x free pool)",
+    )
+    parser.add_argument(
         "--check-determinism", action="store_true",
         help="chaos target: run twice and require byte-identical JSONL traces",
     )
@@ -175,6 +193,29 @@ def executor_from_args(args) -> ExperimentExecutor:
     )
 
 
+def buffer_override_from_args(args):
+    """An ``RDCNConfig -> RDCNConfig`` transform applying the buffer
+    flags, or None when none were given (figure runs then keep their
+    canned static carving — byte-identical to pre-flag behavior)."""
+    if args.buffer_policy is None and args.buffer_total is None and args.buffer_alpha is None:
+        return None
+    from dataclasses import replace
+
+    def override(rdcn):
+        kwargs = {}
+        if args.buffer_policy is not None:
+            kwargs["buffer_policy"] = args.buffer_policy
+        if args.buffer_total is not None:
+            kwargs["voq_capacity"] = args.buffer_total
+            if (args.buffer_policy or rdcn.buffer_policy) != "static":
+                kwargs["buffer_total_capacity"] = args.buffer_total
+        if args.buffer_alpha is not None:
+            kwargs["buffer_alpha"] = args.buffer_alpha
+        return replace(rdcn, **kwargs)
+
+    return override
+
+
 def run_figure(name: str, args) -> int:
     """Run one figure; failed variants degrade the figure (reported
     per-variant on stderr, exit 1) instead of aborting it."""
@@ -182,6 +223,7 @@ def run_figure(name: str, args) -> int:
     data = FIGURES[name](
         weeks=args.weeks, warmup_weeks=args.warmup, n_flows=args.flows, seed=args.seed,
         obs=obs_config_from_args(args), executor=executor,
+        rdcn_override=buffer_override_from_args(args),
     )
     sections = [render_throughput_summary(data)]
     if data.seq_curves:
@@ -291,24 +333,40 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.target == "list":
         print("figures:", ", ".join(sorted(FIGURES)))
-        print("sweeps: sweep-ratio, sweep-day")
+        print("sweeps: sweep-ratio, sweep-day, sweep-buffer")
         print("chaos: fault-plan run (--fault-plan/--audit/--check-determinism)")
         return 0
     if args.target == "chaos":
         return run_chaos(args)
-    if args.target in ("sweep-ratio", "sweep-day"):
+    if args.target in ("sweep-ratio", "sweep-day", "sweep-buffer"):
         from repro.faults.plan import FaultPlan
 
-        sweep = duty_ratio_sweep if args.target == "sweep-ratio" else day_length_sweep
         executor = executor_from_args(args)
-        result = sweep(
+        common = dict(
             weeks=args.weeks, warmup_weeks=args.warmup, n_flows=args.flows,
             seed=args.seed, executor=executor,
             fault_plan=FaultPlan.load(args.fault_plan) if args.fault_plan else None,
             watchdog_max_events=args.watchdog_events,
             watchdog_max_wall_s=args.watchdog_wall,
         )
+        if args.target == "sweep-buffer":
+            buffer_kwargs = {}
+            if args.buffer_total is not None:
+                buffer_kwargs["totals"] = (args.buffer_total,)
+            if args.buffer_policy is not None:
+                buffer_kwargs["policies"] = (args.buffer_policy,)
+            if args.buffer_alpha is not None:
+                buffer_kwargs["alpha"] = args.buffer_alpha
+            if args.audit is not None:
+                buffer_kwargs["audit"] = args.audit
+            result = buffer_economics_sweep(**common, **buffer_kwargs)
+        else:
+            sweep = duty_ratio_sweep if args.target == "sweep-ratio" else day_length_sweep
+            result = sweep(**common)
         print(result.render())
+        if args.csv:
+            written = sweep_to_csv(result, args.csv)
+            print("CSV written:\n  " + "\n  ".join(written))
         print(f"executor: {executor.last_batch.render()}")
         if executor.campaign is not None:
             executor.campaign.close()

@@ -10,7 +10,9 @@ from typing import Optional
 #: Bumped whenever the canonical config encoding (or the semantics of
 #: any encoded field) changes, so stale executor cache entries written
 #: under an older scheme can never satisfy a new lookup.
-CONFIG_SCHEMA_VERSION = 1
+#: v2: RDCNConfig grew the shared-buffer fields (buffer_policy /
+#: buffer_alpha / buffer_total_capacity).
+CONFIG_SCHEMA_VERSION = 2
 
 from repro.faults.audit import AUDIT_MODES
 from repro.faults.plan import FaultPlan

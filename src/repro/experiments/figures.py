@@ -13,7 +13,7 @@ and ``n_flows`` scale up freely).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,6 +36,9 @@ from repro.units import gbps, usec
 FULL_VARIANTS = ("retcpdyn", "tdtcp", "retcp", "dctcp", "cubic", "mptcp")
 MOTIVATION_VARIANTS = ("cubic", "mptcp")
 REORDERING_VARIANTS = ("cubic", "mptcp", "tdtcp")
+# Buffer-economics panels: the variants whose buffer appetite differs
+# most — deep-buffer loss-based, shallow-buffer ECN, and TDN-aware.
+BUFFER_VARIANTS = ("cubic", "dctcp", "tdtcp")
 
 
 @dataclass
@@ -115,6 +118,7 @@ def run_figure(
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
     retries: int = 1,
+    rdcn_override: Optional[Callable[[RDCNConfig], RDCNConfig]] = None,
 ) -> FigureData:
     """Generic driver: run every variant on one RDCN configuration.
 
@@ -128,7 +132,14 @@ def run_figure(
 
     When ``obs`` is set, each variant's run records telemetry under the
     label ``{figure}_{variant}`` (artifact paths end up on the per-
-    variant :class:`ExperimentResult`)."""
+    variant :class:`ExperimentResult`).
+
+    ``rdcn_override`` (an ``RDCNConfig -> RDCNConfig`` transform) is
+    applied to the figure's canned setting before running — the CLI's
+    ``--buffer-policy``/``--buffer-total``/``--buffer-alpha`` flags ride
+    in this way without each figure knowing about them."""
+    if rdcn_override is not None:
+        rdcn = rdcn_override(rdcn)
     data = FigureData(name=name, rdcn=rdcn, weeks_plotted=weeks_plotted)
     configs = [
         ExperimentConfig(
@@ -201,12 +212,13 @@ def fig2(
     weeks: int = 40, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1,
     obs: Optional[ObsConfig] = None,
     executor: Optional[ExperimentExecutor] = None,
+    rdcn_override: Optional[Callable[[RDCNConfig], RDCNConfig]] = None,
 ) -> FigureData:
     """Figure 2: motivation sequence graph (CUBIC, MPTCP vs optimal and
     packet-only) over three optical weeks."""
     return run_figure(
         "fig2", bw_latency_rdcn(), MOTIVATION_VARIANTS, weeks, warmup_weeks, n_flows,
-        seed=seed, obs=obs, executor=executor,
+        seed=seed, obs=obs, executor=executor, rdcn_override=rdcn_override,
     )
 
 
@@ -214,6 +226,7 @@ def fig7(
     weeks: int = 40, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1,
     obs: Optional[ObsConfig] = None,
     executor: Optional[ExperimentExecutor] = None,
+    rdcn_override: Optional[Callable[[RDCNConfig], RDCNConfig]] = None,
 ) -> FigureData:
     """Figure 7: all variants under bandwidth AND latency differences.
 
@@ -221,7 +234,7 @@ def fig7(
     """
     return run_figure(
         "fig7", bw_latency_rdcn(), FULL_VARIANTS, weeks, warmup_weeks, n_flows,
-        seed=seed, obs=obs, executor=executor,
+        seed=seed, obs=obs, executor=executor, rdcn_override=rdcn_override,
     )
 
 
@@ -229,11 +242,12 @@ def fig8(
     weeks: int = 40, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1,
     obs: Optional[ObsConfig] = None,
     executor: Optional[ExperimentExecutor] = None,
+    rdcn_override: Optional[Callable[[RDCNConfig], RDCNConfig]] = None,
 ) -> FigureData:
     """Figure 8: bandwidth difference only."""
     return run_figure(
         "fig8", bw_only_rdcn(), FULL_VARIANTS, weeks, warmup_weeks, n_flows,
-        seed=seed, obs=obs, executor=executor,
+        seed=seed, obs=obs, executor=executor, rdcn_override=rdcn_override,
     )
 
 
@@ -241,11 +255,12 @@ def fig9(
     weeks: int = 40, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1,
     obs: Optional[ObsConfig] = None,
     executor: Optional[ExperimentExecutor] = None,
+    rdcn_override: Optional[Callable[[RDCNConfig], RDCNConfig]] = None,
 ) -> FigureData:
     """Figure 9: latency difference only at 100 Gbps."""
     return run_figure(
         "fig9", latency_only_rdcn(100.0), FULL_VARIANTS, weeks, warmup_weeks, n_flows,
-        seed=seed, obs=obs, executor=executor,
+        seed=seed, obs=obs, executor=executor, rdcn_override=rdcn_override,
     )
 
 
@@ -253,12 +268,13 @@ def fig10(
     weeks: int = 60, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1,
     obs: Optional[ObsConfig] = None,
     executor: Optional[ExperimentExecutor] = None,
+    rdcn_override: Optional[Callable[[RDCNConfig], RDCNConfig]] = None,
 ) -> FigureData:
     """Figure 10: CDFs of reordering events and retransmitted packets
     per optical day for CUBIC, MPTCP, and TDTCP."""
     data = run_figure(
         "fig10", bw_latency_rdcn(), REORDERING_VARIANTS, weeks, warmup_weeks, n_flows,
-        seed=seed, obs=obs, executor=executor,
+        seed=seed, obs=obs, executor=executor, rdcn_override=rdcn_override,
     )
     for variant, result in data.results.items():
         data.reordering_cdfs[variant] = empirical_cdf(result.reordering_per_day)
@@ -270,6 +286,7 @@ def fig11(
     weeks: int = 40, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1,
     obs: Optional[ObsConfig] = None,
     executor: Optional[ExperimentExecutor] = None,
+    rdcn_override: Optional[Callable[[RDCNConfig], RDCNConfig]] = None,
 ) -> FigureData:
     """Figure 11: TDTCP with and without the §5.4 notification
     optimizations."""
@@ -283,6 +300,7 @@ def fig11(
         seed=seed,
         obs=obs,
         executor=executor,
+        rdcn_override=rdcn_override,
     )
 
 
@@ -290,19 +308,91 @@ def fig13(
     weeks: int = 40, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1,
     obs: Optional[ObsConfig] = None,
     executor: Optional[ExperimentExecutor] = None,
+    rdcn_override: Optional[Callable[[RDCNConfig], RDCNConfig]] = None,
 ) -> FigureData:
     """Figure 13 (Appendix A.3): VOQ occupancy of CUBIC and MPTCP in the
     Figure-2 configuration."""
     return run_figure(
         "fig13", bw_latency_rdcn(), MOTIVATION_VARIANTS, weeks, warmup_weeks, n_flows,
-        seed=seed, obs=obs, executor=executor,
+        seed=seed, obs=obs, executor=executor, rdcn_override=rdcn_override,
     )
+
+
+def buffer_rdcn(total: int, policy: str, alpha: float = 1.0) -> RDCNConfig:
+    """The Figure-2 RDCN with ``total`` packets of ToR buffer under one
+    sharing policy (static carves it into the VOQ; pooled policies back
+    it with a shared pool of the same size)."""
+    return replace(
+        bw_latency_rdcn(),
+        voq_capacity=total,
+        buffer_policy=policy,
+        buffer_alpha=alpha,
+        buffer_total_capacity=None if policy == "static" else total,
+    )
+
+
+def fig_buffer(
+    total: int,
+    policy: str,
+    alpha: float = 1.0,
+    variants: Sequence[str] = BUFFER_VARIANTS,
+    weeks: int = 40, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1,
+    obs: Optional[ObsConfig] = None,
+    executor: Optional[ExperimentExecutor] = None,
+    rdcn_override: Optional[Callable[[RDCNConfig], RDCNConfig]] = None,
+) -> FigureData:
+    """One buffer-economics panel: sequence/VOQ curves of the buffer
+    variants with ``total`` packets of ToR memory under ``policy``.
+
+    The full figure family is one panel per (total, policy) point —
+    see :func:`buffer_figure_family` and
+    ``experiments.sweeps.buffer_economics_sweep`` for the aggregate
+    throughput surface.
+    """
+    from repro.experiments.sweeps import POLICY_TAGS
+
+    return run_figure(
+        f"fig-buffer-{total}x{POLICY_TAGS[policy]}",
+        buffer_rdcn(total, policy, alpha),
+        variants,
+        weeks,
+        warmup_weeks,
+        n_flows,
+        seed=seed,
+        obs=obs,
+        executor=executor,
+        rdcn_override=rdcn_override,
+    )
+
+
+def buffer_figure_family(
+    totals: Sequence[int] = (32, 64, 96),
+    policies: Sequence[str] = ("static", "complete-sharing", "dynamic-threshold"),
+    alpha: float = 1.0,
+    variants: Sequence[str] = BUFFER_VARIANTS,
+    weeks: int = 40, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1,
+    obs: Optional[ObsConfig] = None,
+    executor: Optional[ExperimentExecutor] = None,
+    rdcn_override: Optional[Callable[[RDCNConfig], RDCNConfig]] = None,
+) -> Dict[str, FigureData]:
+    """The buffer-economics figure family: a panel per (total buffer x
+    sharing policy) point, keyed by the panel name."""
+    family: Dict[str, FigureData] = {}
+    for total in totals:
+        for policy in policies:
+            data = fig_buffer(
+                total, policy, alpha, variants, weeks, warmup_weeks, n_flows,
+                seed=seed, obs=obs, executor=executor, rdcn_override=rdcn_override,
+            )
+            family[data.name] = data
+    return family
 
 
 def fig14(
     rate_gbps: float, weeks: int = 40, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1,
     obs: Optional[ObsConfig] = None,
     executor: Optional[ExperimentExecutor] = None,
+    rdcn_override: Optional[Callable[[RDCNConfig], RDCNConfig]] = None,
 ) -> FigureData:
     """Figure 14 (Appendix A.4): VOQ occupancy, latency-only RDCN at a
     fixed rate (the paper shows 10 and 100 Gbps panels)."""
@@ -316,4 +406,5 @@ def fig14(
         seed=seed,
         obs=obs,
         executor=executor,
+        rdcn_override=rdcn_override,
     )

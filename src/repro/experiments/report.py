@@ -165,6 +165,34 @@ def figure_to_csv(data: FigureData, directory) -> List[str]:
     return written
 
 
+def sweep_to_csv(result, directory) -> List[str]:
+    """Write a :class:`SweepResult` as one long-format CSV (setting,
+    variant, throughput, retransmissions, rtos, status); returns the
+    paths written. Failed points carry an empty throughput cell and
+    status ``failed`` — never a fake zero."""
+    import csv
+    import pathlib
+
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result.name}_points.csv"
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["setting", "variant", "throughput_gbps", "retransmissions", "rtos", "status"]
+        )
+        for point in result.points:
+            writer.writerow([
+                point.label,
+                point.variant,
+                f"{point.throughput_gbps:.6f}" if point.ok else "",
+                point.retransmissions,
+                point.rtos,
+                "ok" if point.ok else "failed",
+            ])
+    return [str(path)]
+
+
 def headline_claims(data: FigureData) -> Dict[str, float]:
     """The abstract's numbers from a Figure-7 run: TDTCP vs CUBIC/DCTCP
     (paper: +24%), vs MPTCP (paper: +41%), vs reTCP-dyn (paper: parity)."""

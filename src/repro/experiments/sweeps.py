@@ -26,8 +26,16 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.executor import ExperimentExecutor
 from repro.experiments.runner import RunFailure
 from repro.faults.plan import FaultPlan
+from repro.net.queues import BUFFER_POLICIES
 from repro.rdcn.config import RDCNConfig
 from repro.units import usec
+
+#: Compact policy tags used in sweep labels and CSV/figure axes.
+POLICY_TAGS = {
+    "static": "static",
+    "complete-sharing": "share",
+    "dynamic-threshold": "dyn",
+}
 
 
 @dataclass
@@ -100,6 +108,7 @@ def _run_sweep(
     fault_plan: Optional[FaultPlan],
     watchdog_max_events: Optional[int],
     watchdog_max_wall_s: Optional[float],
+    audit: Optional[str] = None,
 ) -> SweepResult:
     """Run every (label, variant, rdcn) point as one executor batch and
     assemble the result in grid order."""
@@ -114,6 +123,7 @@ def _run_sweep(
             fault_plan=fault_plan,
             watchdog_max_events=watchdog_max_events,
             watchdog_max_wall_s=watchdog_max_wall_s,
+            audit=audit,
         )
         for _label, variant, rdcn in grid
     ]
@@ -206,4 +216,62 @@ def day_length_sweep(
     return _run_sweep(
         "day-length-sweep", grid, weeks, warmup_weeks, n_flows, seed,
         executor, fault_plan, watchdog_max_events, watchdog_max_wall_s,
+    )
+
+
+def buffer_economics_sweep(
+    totals: Sequence[int] = (32, 64, 96),
+    policies: Sequence[str] = BUFFER_POLICIES,
+    variants: Sequence[str] = ("cubic", "dctcp", "tdtcp"),
+    alpha: float = 1.0,
+    weeks: int = 24,
+    warmup_weeks: int = 8,
+    n_flows: int = 8,
+    seed: int = 1,
+    executor: Optional[ExperimentExecutor] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    watchdog_max_events: Optional[int] = None,
+    watchdog_max_wall_s: Optional[float] = None,
+    audit: Optional[str] = "fail",
+) -> SweepResult:
+    """Buffer economics: total ToR buffer x sharing policy x variant.
+
+    Each setting gives every ToR the same total memory (``totals``
+    packets per ToR) and varies only how the VOQs may claim it:
+    ``static`` carves it per VOQ (today's behavior), ``complete-sharing``
+    lets any VOQ consume the whole pool, ``dynamic-threshold`` admits
+    while a VOQ stays below ``alpha x free_pool`` (Choudhury-Hahne).
+    Labels are ``{total}x{tag}`` (e.g. ``96xdyn``).
+
+    Pool conservation is audited on every point (``audit="fail"`` by
+    default): a pooled run whose used-cell counter drifts from the sum
+    of member queue lengths surfaces as a FAILED point, never as a
+    throughput number.
+    """
+    for policy in policies:
+        if policy not in BUFFER_POLICIES:
+            raise ValueError(
+                f"unknown buffer policy {policy!r}; expected one of {BUFFER_POLICIES}"
+            )
+    base = RDCNConfig()
+    grid: List[Tuple[str, str, RDCNConfig]] = []
+    for total in totals:
+        for policy in policies:
+            # Same per-ToR memory under every policy: static carves the
+            # total into the (single cross-rack) VOQ; pooled policies
+            # back it with a shared pool of the same size.
+            rdcn = replace(
+                base,
+                voq_capacity=total,
+                buffer_policy=policy,
+                buffer_alpha=alpha,
+                buffer_total_capacity=None if policy == "static" else total,
+            )
+            label = f"{total}x{POLICY_TAGS[policy]}"
+            for variant in variants:
+                grid.append((label, variant, rdcn))
+    return _run_sweep(
+        "buffer-economics-sweep", grid, weeks, warmup_weeks, n_flows, seed,
+        executor, fault_plan, watchdog_max_events, watchdog_max_wall_s,
+        audit=audit,
     )

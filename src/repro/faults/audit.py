@@ -86,6 +86,7 @@ class InvariantAuditor:
         self.connections: List[Any] = []
         self.uplinks: List[Any] = []
         self.queues: List[Any] = []
+        self.pools: List[Any] = []
         self.checks_run = 0
         self.violations: List[dict] = []
         self._tp = Telemetry.of(sim).tracepoint("audit:violation")
@@ -117,6 +118,13 @@ class InvariantAuditor:
     def watch_queue(self, queue: Any) -> None:
         if queue not in self.queues:
             self.queues.append(queue)
+        pool = getattr(queue, "pool", None)
+        if pool is not None:
+            self.watch_pool(pool)
+
+    def watch_pool(self, pool: Any) -> None:
+        if pool not in self.pools:
+            self.pools.append(pool)
 
     def watch_workload(self, workload: Any) -> None:
         for flow in workload.flows:
@@ -165,6 +173,8 @@ class InvariantAuditor:
             found.extend(self._audit_uplink(uplink))
         for queue in self.queues:
             found.extend(self._audit_queue(queue))
+        for pool in self.pools:
+            found.extend(self._audit_pool(pool))
         if found:
             self.violations.extend(found)
             if self._tp.enabled:
@@ -263,6 +273,28 @@ class InvariantAuditor:
             ))
         return found
 
+    def _audit_pool(self, pool: Any) -> List[dict]:
+        """Pool conservation: the used-cell counter must equal the sum
+        of member queue lengths (an acquire without a matching release —
+        e.g. an inlined dequeue that skips the pool — drifts it)."""
+        found: List[dict] = []
+        queued = sum(len(queue) for queue in pool.queues)
+        if pool.used != queued:
+            found.append(self._violation(
+                "pool_conservation", pool.name,
+                f"used={pool.used} != sum(member lengths)={queued}",
+            ))
+        if pool.used < 0:
+            found.append(self._violation(
+                "counter_floor", pool.name, f"used={pool.used} < 0",
+            ))
+        if pool.peak_used < pool.used:
+            found.append(self._violation(
+                "occupancy_watermark", pool.name,
+                f"used {pool.used} exceeds recorded peak {pool.peak_used}",
+            ))
+        return found
+
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
@@ -281,6 +313,7 @@ class InvariantAuditor:
             "checks_run": self.checks_run,
             "watched_connections": len(self.connections),
             "watched_uplinks": len(self.uplinks),
+            "watched_pools": len(self.pools),
             "violation_count": len(self.violations),
             "violations": list(self.violations),
         }

@@ -1,17 +1,40 @@
-"""Queues: drop-tail with runtime-resizable capacity and ECN marking.
+"""Queues: drop-tail with runtime-resizable capacity, ECN marking, and
+shared-memory buffer pools.
 
 The ToR virtual output queue (VOQ) in the paper is a 16-packet drop-tail
 queue; ``retcpdyn`` resizes it to 50 packets ahead of the circuit day.
 DCTCP needs CE marking above a threshold K. Both behaviours live here so
 the fabric code stays small.
+
+Real switch ASICs do not carve a fixed buffer per queue: the VOQs of one
+ToR draw from one shared memory, with an admission policy deciding when
+a queue may still grow (see "Analyzing DCTCP and Cubic Buffer Sharing
+under Diverse Router Configurations", PAPERS.md).
+:class:`SharedBufferPool` models that shared memory with three pluggable
+admission policies:
+
+* ``static`` — per-queue carving: each queue gets a fixed reservation
+  (the pre-pool behaviour; fabrics keep building plain
+  :class:`DropTailQueue` objects for this policy so traces stay
+  byte-identical).
+* ``complete-sharing`` — any queue may use any free cell; a packet is
+  only dropped when the whole pool is full.
+* ``dynamic-threshold`` — Choudhury–Hahne dynamic thresholds: a queue
+  may enqueue only while its own occupancy is below
+  ``alpha × (total − used)``, so a lone hot queue can borrow most of
+  the pool while competing queues converge to fair shares.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.net.packet import Packet
+
+#: The admission policies a shared ToR buffer supports, in the order
+#: they appear in config schemas and sweep grids.
+BUFFER_POLICIES = ("static", "complete-sharing", "dynamic-threshold")
 
 
 class DropTailQueue:
@@ -31,6 +54,11 @@ class DropTailQueue:
     # True so the base push() skips a no-op method call per enqueue.
     _marks = False
 
+    # Class-level gate: pool-backed subclasses set this True so inlined
+    # dequeue sites (the fabric drain) know to release the pool cell
+    # without paying a getattr on the plain-queue fast path.
+    _pooled = False
+
     # Slots: a two-rack testbed carries one VOQ per (ToR, remote rack)
     # pair plus per-host access queues, and sweep/executor runs build
     # thousands of testbeds — keeping these off the instance-dict path
@@ -39,7 +67,7 @@ class DropTailQueue:
     __slots__ = (
         "capacity", "name", "_fifo", "drops", "enqueued", "max_occupancy",
         "on_length_change", "_length_listeners", "_drop_listeners",
-        "_pre_squeeze_capacity",
+        "_pre_squeeze_capacity", "_squeeze_capacity",
     )
 
     def __init__(self, capacity: int, name: str = "queue"):
@@ -56,6 +84,7 @@ class DropTailQueue:
         self._length_listeners: List[Callable[[int], None]] = []
         self._drop_listeners: List[Callable[[Packet], None]] = []
         self._pre_squeeze_capacity: Optional[int] = None
+        self._squeeze_capacity: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self._fifo)
@@ -81,27 +110,45 @@ class DropTailQueue:
             fn(length)
 
     def resize(self, capacity: int) -> None:
-        """Change capacity at runtime (used by the reTCP-dyn controller)."""
+        """Change capacity at runtime (used by the reTCP-dyn controller).
+
+        Clamp-composes with an active :meth:`squeeze`: the resize
+        becomes the value :meth:`unsqueeze` will restore, but while the
+        squeeze is in force the effective capacity stays at
+        ``min(squeeze, resize)`` — a fault-injected squeeze is never
+        silently overridden by the buffer controller (and the later
+        unsqueeze restores the *controller's* capacity, not the stale
+        pre-squeeze one).
+        """
         if capacity <= 0:
             raise ValueError("queue capacity must be positive")
-        self.capacity = capacity
+        if self._squeeze_capacity is not None:
+            self._pre_squeeze_capacity = capacity
+            self.capacity = min(self._squeeze_capacity, capacity)
+        else:
+            self.capacity = capacity
 
     def squeeze(self, capacity: int) -> None:
-        """Fault-injection capacity squeeze: like :meth:`resize` but
-        remembers the pre-squeeze capacity so :meth:`unsqueeze` can
-        restore it (re-squeezing keeps the original saved value)."""
+        """Fault-injection capacity squeeze: clamps the capacity to at
+        most ``capacity`` and remembers the pre-squeeze value so
+        :meth:`unsqueeze` can restore it. Re-squeezing keeps the
+        original saved value; a :meth:`resize` while squeezed updates
+        the saved value instead of the live capacity."""
         if capacity <= 0:
             raise ValueError("queue capacity must be positive")
         if self._pre_squeeze_capacity is None:
             self._pre_squeeze_capacity = self.capacity
-        self.capacity = capacity
+        self._squeeze_capacity = capacity
+        self.capacity = min(capacity, self._pre_squeeze_capacity)
 
     def unsqueeze(self) -> None:
-        """Restore the capacity saved by :meth:`squeeze` (no-op if not
-        squeezed)."""
+        """Restore the capacity saved by :meth:`squeeze` — including
+        any :meth:`resize` issued while the squeeze was in force (no-op
+        if not squeezed)."""
         if self._pre_squeeze_capacity is not None:
             self.capacity = self._pre_squeeze_capacity
             self._pre_squeeze_capacity = None
+            self._squeeze_capacity = None
 
     def push(self, packet: Packet, now: int) -> bool:
         """Enqueue; returns False (and flags the packet) on overflow."""
@@ -163,6 +210,209 @@ class ECNMarkingQueue(DropTailQueue):
 
     def __init__(self, capacity: int, mark_threshold: int, name: str = "ecn-queue"):
         super().__init__(capacity, name)
+        if mark_threshold <= 0:
+            raise ValueError("mark threshold must be positive")
+        self.mark_threshold = mark_threshold
+        self.marks = 0
+
+    def _mark(self, packet: Packet) -> None:
+        if packet.ecn_capable and len(self._fifo) >= self.mark_threshold:
+            packet.ce = True
+            self.marks += 1
+
+
+class SharedBufferPool:
+    """One ToR's shared packet memory, drawn from by pool-backed VOQs.
+
+    The pool counts cells (packets), mirroring how the fabric's VOQ
+    capacities are expressed. Queues register at construction
+    (:class:`PooledDropTailQueue` does this itself); every accepted
+    enqueue acquires one cell, every dequeue releases it. Admission is
+    decided by :meth:`admits` per the configured policy; a refusal is a
+    *pool rejection* (counted separately from per-queue drop-tail
+    overflows, and surfaced through its own listener so the
+    ``pool:reject`` tracepoint can hang off it).
+
+    Like :meth:`DropTailQueue.resize`, shrinking the pool never evicts:
+    ``used`` may temporarily exceed ``total`` after a shrink, during
+    which every admission is refused until the backlog drains.
+    """
+
+    __slots__ = (
+        "total", "policy", "alpha", "name", "used", "peak_used",
+        "rejections", "queues", "_occupancy_listeners", "_reject_listeners",
+    )
+
+    def __init__(
+        self,
+        total: int,
+        policy: str = "dynamic-threshold",
+        alpha: float = 1.0,
+        name: str = "pool",
+    ):
+        if total <= 0:
+            raise ValueError("pool capacity must be positive")
+        if policy not in BUFFER_POLICIES:
+            raise ValueError(
+                f"unknown buffer policy {policy!r}; known: {BUFFER_POLICIES}"
+            )
+        if alpha <= 0:
+            raise ValueError("dynamic-threshold alpha must be positive")
+        self.total = total
+        self.policy = policy
+        self.alpha = alpha
+        self.name = name
+        self.used = 0
+        self.peak_used = 0
+        self.rejections = 0
+        self.queues: List["PooledDropTailQueue"] = []
+        self._occupancy_listeners: List[Callable[[int], None]] = []
+        self._reject_listeners: List[Callable[[str, int], None]] = []
+
+    @property
+    def free(self) -> int:
+        return self.total - self.used
+
+    def register(self, queue: "PooledDropTailQueue") -> None:
+        if queue not in self.queues:
+            self.queues.append(queue)
+
+    def subscribe_occupancy(self, fn: Callable[[int], None]) -> None:
+        """Add a listener called as ``fn(used)`` after every change."""
+        self._occupancy_listeners.append(fn)
+
+    def subscribe_reject(self, fn: Callable[[str, int], None]) -> None:
+        """Add a listener called as ``fn(queue_name, queue_length)`` on
+        every pool-admission refusal."""
+        self._reject_listeners.append(fn)
+
+    def admits(self, queue_length: int) -> bool:
+        """Would the pool accept one more cell for a queue currently
+        holding ``queue_length`` packets?"""
+        free = self.total - self.used
+        if free <= 0:
+            return False
+        if self.policy == "complete-sharing":
+            return True
+        # dynamic-threshold (Choudhury–Hahne): T(t) = alpha * free(t).
+        # ("static" pools never reach here: static fabrics carve plain
+        # per-VOQ queues and construct no pool at all.)
+        return queue_length < self.alpha * free
+
+    def acquire(self, queue: "PooledDropTailQueue") -> None:
+        used = self.used + 1
+        self.used = used
+        if used > self.peak_used:
+            self.peak_used = used
+        for fn in self._occupancy_listeners:
+            fn(used)
+
+    def release(self, queue: "PooledDropTailQueue") -> None:
+        self.used -= 1
+        used = self.used
+        for fn in self._occupancy_listeners:
+            fn(used)
+
+    def reject(self, queue: "PooledDropTailQueue") -> None:
+        self.rejections += 1
+        if self._reject_listeners:
+            length = len(queue)
+            for fn in self._reject_listeners:
+                fn(queue.name, length)
+
+    def resize_total(self, total: int) -> None:
+        """Grow/shrink the shared memory at runtime (the retcpdyn
+        controller's pre-circuit enlargement, pool form). Registered
+        queues' per-queue hard caps track the new total so the pool
+        stays the binding constraint."""
+        if total <= 0:
+            raise ValueError("pool capacity must be positive")
+        self.total = total
+        for queue in self.queues:
+            queue.resize(total)
+
+    def occupancies(self) -> List[Tuple[str, int]]:
+        """(queue name, length) snapshot, registration order."""
+        return [(queue.name, len(queue)) for queue in self.queues]
+
+
+class PooledDropTailQueue(DropTailQueue):
+    """A VOQ drawing from a :class:`SharedBufferPool`.
+
+    The per-queue ``capacity`` stays enforced as a hard cap on top of
+    pool admission — fabrics set it to the pool total (so the pool is
+    the binding constraint) and fault injection squeezes it down
+    exactly like a plain queue's. A pool-admission refusal drops the
+    packet at the tail (counted in both ``drops`` and the pool's
+    ``rejections``).
+    """
+
+    _pooled = True
+
+    __slots__ = ("pool",)
+
+    def __init__(self, pool: SharedBufferPool, capacity: Optional[int] = None,
+                 name: str = "pooled-queue"):
+        super().__init__(pool.total if capacity is None else capacity, name)
+        self.pool = pool
+        pool.register(self)
+
+    def push(self, packet: Packet, now: int) -> bool:
+        """Enqueue; False (packet flagged, pool rejection or tail drop
+        counted) when either the per-queue cap or pool admission says
+        no."""
+        pool = self.pool
+        length = len(self._fifo)
+        admitted = pool.admits(length)
+        if length >= self.capacity or not admitted:
+            packet.dropped = True
+            self.drops += 1
+            if not admitted:
+                # The pool refused (full, or dynamic threshold hit) —
+                # counted as a pool rejection even when the per-queue
+                # cap binds at the same point (fabrics default the cap
+                # to the pool total, so they often coincide).
+                pool.reject(self)
+            for fn in self._drop_listeners:
+                fn(packet)
+            return False
+        packet.enqueued_ns = now
+        if self._marks:
+            self._mark(packet)
+        fifo = self._fifo
+        fifo.append(packet)
+        self.enqueued += 1
+        pool.acquire(self)
+        length += 1
+        if length > self.max_occupancy:
+            self.max_occupancy = length
+        on_change = self.on_length_change
+        listeners = self._length_listeners
+        if on_change is not None or listeners:
+            if on_change is not None:
+                on_change(length)
+            for fn in listeners:
+                fn(length)
+        return True
+
+    def pop(self) -> Optional[Packet]:
+        packet = super().pop()
+        if packet is not None:
+            self.pool.release(self)
+        return packet
+
+
+class PooledECNMarkingQueue(PooledDropTailQueue):
+    """Pool-backed VOQ that CE-marks like :class:`ECNMarkingQueue`:
+    post-enqueue occupancy > K (equivalently pre-enqueue >= K)."""
+
+    _marks = True
+
+    __slots__ = ("mark_threshold", "marks")
+
+    def __init__(self, pool: SharedBufferPool, mark_threshold: int,
+                 capacity: Optional[int] = None, name: str = "pooled-ecn-queue"):
+        super().__init__(pool, capacity, name)
         if mark_threshold <= 0:
             raise ValueError("mark threshold must be positive")
         self.mark_threshold = mark_threshold

@@ -175,6 +175,28 @@ class Telemetry:
         queue.subscribe_length(on_length)
         queue.subscribe_drop(on_drop)
 
+    def instrument_pool(self, pool: Any, sim: Any) -> None:
+        """Wire a :class:`repro.net.queues.SharedBufferPool` into the
+        ``pool:occupancy`` / ``pool:reject`` tracepoints."""
+        tp_occupancy = self.tracepoint("pool:occupancy")
+        tp_reject = self.tracepoint("pool:reject")
+        pname = pool.name
+
+        def on_used(used: int) -> None:
+            if tp_occupancy.enabled:
+                tp_occupancy.emit(
+                    sim.now, pool=pname, used=used, free=pool.total - used
+                )
+
+        def on_reject(queue_name: str, occupancy: int) -> None:
+            if tp_reject.enabled:
+                tp_reject.emit(
+                    sim.now, pool=pname, queue=queue_name, occupancy=occupancy
+                )
+
+        pool.subscribe_occupancy(on_used)
+        pool.subscribe_reject(on_reject)
+
     # ------------------------------------------------------------------
     # Artifacts
     # ------------------------------------------------------------------
@@ -245,6 +267,12 @@ class _MetricsBridge:
         self._occupancy_dist = registry.histogram(
             "queue_occupancy_dist", "VOQ length distribution", ("queue",)
         )
+        self._pool_rejects = registry.counter(
+            "pool_rejections_total", "shared-buffer pool admission refusals", ("pool", "queue")
+        )
+        self._pool_occupancy = registry.gauge(
+            "pool_occupancy", "shared-buffer pool cells in use", ("pool",)
+        )
         self._notify_latency = registry.histogram(
             "notifier_delivery_latency_ns", "TDN notification end-to-end latency", ()
         )
@@ -276,6 +304,12 @@ class _MetricsBridge:
             length = fields.get("length", 0)
             self._occupancy.set(length, queue=fields.get("queue"))
             self._occupancy_dist.observe(length, queue=fields.get("queue"))
+        elif name == "pool:occupancy":
+            self._pool_occupancy.set(fields.get("used", 0), pool=fields.get("pool"))
+        elif name == "pool:reject":
+            self._pool_rejects.inc(
+                1, pool=fields.get("pool"), queue=fields.get("queue")
+            )
         elif name == "notifier:deliver":
             self._notify_latency.observe(fields.get("latency_ns", 0))
         elif name == "notifier:stale":
@@ -299,6 +333,9 @@ class _DisabledTelemetry:
         return NULL_TRACEPOINT
 
     def instrument_queue(self, queue: Any, sim: Any) -> None:
+        pass
+
+    def instrument_pool(self, pool: Any, sim: Any) -> None:
         pass
 
 

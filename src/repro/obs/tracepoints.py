@@ -54,6 +54,14 @@ TRACEPOINT_CATALOG: Dict[str, Tuple[Tuple[str, ...], str]] = {
         ("queue", "length"),
         "VOQ length change (enqueue or dequeue)",
     ),
+    "pool:occupancy": (
+        ("pool", "used", "free"),
+        "shared ToR buffer pool occupancy change (repro.net.queues.SharedBufferPool)",
+    ),
+    "pool:reject": (
+        ("pool", "queue", "occupancy"),
+        "pool admission refusal (complete-sharing full / dynamic threshold hit)",
+    ),
     "notifier:deliver": (
         ("host", "tdn", "latency_ns"),
         "TDN-change notification processed by a host (§5.4 end-to-end latency)",

@@ -9,8 +9,9 @@ schedule, 16-packet VOQs, and jumbo frames.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Tuple
+from typing import Optional, Tuple
 
+from repro.net.queues import BUFFER_POLICIES
 from repro.units import gbps, usec
 
 
@@ -119,6 +120,16 @@ class RDCNConfig:
     voq_capacity: int = 96
     ecn_threshold: int = 30  # CE-mark threshold K for DCTCP runs
 
+    # Shared-memory ToR buffering (repro.net.queues.SharedBufferPool).
+    # "static" keeps the paper's per-VOQ carving (plain queues, no pool
+    # object — byte-identical traces to pre-pool builds); the other
+    # policies back every VOQ of a ToR with one shared pool of
+    # `buffer_total_capacity` cells (default: voq_capacity × the ToR's
+    # VOQ count, i.e. the same total memory re-partitioned).
+    buffer_policy: str = "static"
+    buffer_alpha: float = 1.0          # dynamic-threshold alpha
+    buffer_total_capacity: Optional[int] = None
+
     # Schedule: a week of `schedule_pattern` days (TDN ids), each
     # `day_ns` long, separated by `night_ns` reconfiguration blackouts.
     schedule_pattern: Tuple[int, ...] = (0, 0, 0, 0, 0, 0, 1)
@@ -142,6 +153,20 @@ class RDCNConfig:
             raise ValueError("schedule pattern cannot be empty")
         if self.voq_capacity <= 0:
             raise ValueError("VOQ capacity must be positive")
+        if self.buffer_policy not in BUFFER_POLICIES:
+            raise ValueError(
+                f"unknown buffer policy {self.buffer_policy!r}; known: {BUFFER_POLICIES}"
+            )
+        if self.buffer_alpha <= 0:
+            raise ValueError("buffer_alpha must be positive")
+        if self.buffer_total_capacity is not None and self.buffer_total_capacity <= 0:
+            raise ValueError("buffer_total_capacity must be positive")
+
+    def tor_buffer_total(self, n_voqs: int) -> int:
+        """The shared pool size one ToR gets for ``n_voqs`` VOQs."""
+        if self.buffer_total_capacity is not None:
+            return self.buffer_total_capacity
+        return self.voq_capacity * max(n_voqs, 1)
 
     @property
     def n_tdns(self) -> int:

@@ -121,6 +121,9 @@ class RackUplink:
         if not fifo:
             return
         packet = fifo.popleft()
+        if queue._pooled:
+            # Pool-backed VOQ: the dequeue frees one shared-memory cell.
+            queue.pool.release(queue)
         on_change = queue.on_length_change
         listeners = queue._length_listeners
         if on_change is not None or listeners:

@@ -32,8 +32,13 @@ from typing import Dict, List, Optional
 from repro.net.addressing import host_address, rack_of
 from repro.net.link import Link
 from repro.net.node import Host
-from repro.net.packet import Packet, TDNNotification
-from repro.net.queues import DropTailQueue
+from repro.net.packet import MAX_TDN_ID, Packet, TDNNotification
+from repro.net.queues import (
+    BUFFER_POLICIES,
+    DropTailQueue,
+    PooledDropTailQueue,
+    SharedBufferPool,
+)
 from repro.rdcn.rotor import round_robin_matchings
 from repro.sim.simulator import Simulator
 from repro.units import gbps, serialization_delay_ns, usec
@@ -62,6 +67,13 @@ class OperaConfig:
     # rack's *partner id* as the TDN ID (the configuration space is no
     # longer a fixed cycle).
     matching_policy: str = "rotor"
+    # Shared-memory ToR buffering (see RDCNConfig): "static" carves
+    # voq_capacity per destination rack; the shared policies back each
+    # ToR's n_racks-1 VOQs with one pool of buffer_total_capacity cells
+    # (default: voq_capacity × (n_racks - 1), same total memory).
+    buffer_policy: str = "static"
+    buffer_alpha: float = 1.0
+    buffer_total_capacity: Optional[int] = None
     seed: int = 1
 
     def __post_init__(self) -> None:
@@ -71,10 +83,42 @@ class OperaConfig:
             raise ValueError("need at least one host per rack")
         if self.matching_policy not in ("rotor", "demand-aware"):
             raise ValueError(f"unknown matching policy {self.matching_policy!r}")
+        # Protocol ceiling: the TDN ID travels in one byte capped at
+        # MAX_TDN_ID, and hosts silently drop out-of-range notifications
+        # (the graceful-degradation path) — a fabric whose IDs exceed the
+        # cap would quietly stop adapting instead of failing loudly.
+        # Rotor uses the slot index (0..n_racks-2); demand-aware uses the
+        # partner rack id (0..n_racks-1), so its ceiling is one lower.
+        if self.matching_policy == "demand-aware":
+            max_racks = MAX_TDN_ID + 1
+        else:
+            max_racks = MAX_TDN_ID + 2
+        if self.n_racks > max_racks:
+            raise ValueError(
+                f"n_racks={self.n_racks} exceeds the {self.matching_policy!r} "
+                f"TDN-ID protocol ceiling of {max_racks} racks (MAX_TDN_ID="
+                f"{MAX_TDN_ID}): hosts would silently ignore every "
+                "out-of-range TDN notification"
+            )
+        if self.buffer_policy not in BUFFER_POLICIES:
+            raise ValueError(
+                f"unknown buffer policy {self.buffer_policy!r}; known: {BUFFER_POLICIES}"
+            )
+        if self.buffer_alpha <= 0:
+            raise ValueError("buffer_alpha must be positive")
+        if self.buffer_total_capacity is not None and self.buffer_total_capacity <= 0:
+            raise ValueError("buffer_total_capacity must be positive")
 
     @property
     def n_slots(self) -> int:
         return self.n_racks - 1
+
+    @property
+    def tor_buffer_total(self) -> int:
+        """Shared pool size per ToR (its n_racks - 1 VOQs combined)."""
+        if self.buffer_total_capacity is not None:
+            return self.buffer_total_capacity
+        return self.voq_capacity * (self.n_racks - 1)
 
     @property
     def cycle_ns(self) -> int:
@@ -91,11 +135,29 @@ class OperaToR:
         self.config = config
         self.name = f"opera-tor{rack}"
         self._downlinks: Dict[str, Link] = {}
-        self.voqs: Dict[int, DropTailQueue] = {
-            dst: DropTailQueue(config.voq_capacity, name=f"{self.name}-voq{dst}")
-            for dst in range(config.n_racks)
-            if dst != rack
-        }
+        # Static policy: per-destination carving, exactly the pre-pool
+        # behaviour. Shared policies: all of this ToR's VOQs draw from
+        # one shared-memory pool — the regime where a hot destination
+        # can borrow buffer from idle ones.
+        self.pool: Optional[SharedBufferPool] = None
+        if config.buffer_policy != "static":
+            self.pool = SharedBufferPool(
+                config.tor_buffer_total,
+                policy=config.buffer_policy,
+                alpha=config.buffer_alpha,
+                name=f"{self.name}-pool",
+            )
+            self.voqs: Dict[int, DropTailQueue] = {
+                dst: PooledDropTailQueue(self.pool, name=f"{self.name}-voq{dst}")
+                for dst in range(config.n_racks)
+                if dst != rack
+            }
+        else:
+            self.voqs = {
+                dst: DropTailQueue(config.voq_capacity, name=f"{self.name}-voq{dst}")
+                for dst in range(config.n_racks)
+                if dst != rack
+            }
         self.partner: Optional[int] = None
         self.peers: Dict[int, "OperaToR"] = {}
         self._busy = False

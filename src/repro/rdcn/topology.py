@@ -15,7 +15,13 @@ from typing import Dict, List, Optional
 from repro.net.addressing import host_address
 from repro.net.link import Link
 from repro.net.node import Host
-from repro.net.queues import DropTailQueue, ECNMarkingQueue
+from repro.net.queues import (
+    DropTailQueue,
+    ECNMarkingQueue,
+    PooledDropTailQueue,
+    PooledECNMarkingQueue,
+    SharedBufferPool,
+)
 from repro.net.switch import ToRSwitch
 from repro.obs.telemetry import Telemetry
 from repro.rdcn.config import RDCNConfig
@@ -39,6 +45,9 @@ class TwoRackTestbed:
     hosts: Dict[int, List[Host]] = field(default_factory=dict)
     tors: Dict[int, ToRSwitch] = field(default_factory=dict)
     uplinks: Dict[int, RackUplink] = field(default_factory=dict)  # by source rack
+    # Per-ToR shared buffer pools (empty for the "static" policy, which
+    # carves plain per-VOQ queues and constructs no pool objects).
+    pools: Dict[int, SharedBufferPool] = field(default_factory=dict)
 
     def host(self, rack: int, index: int) -> Host:
         return self.hosts[rack][index]
@@ -118,13 +127,34 @@ def build_two_rack_testbed(
 
     telemetry = Telemetry.of(sim)
 
-    def make_voq(name: str) -> DropTailQueue:
-        if ecn:
-            voq: DropTailQueue = ECNMarkingQueue(
-                config.voq_capacity, config.ecn_threshold, name
-            )
+    def make_voq(rack: int, name: str) -> DropTailQueue:
+        """One VOQ, carved (static) or pool-backed (shared policies).
+
+        Each ToR of the two-rack testbed has exactly one cross-rack
+        VOQ, so its pool holds ``tor_buffer_total(1)`` cells; the
+        per-queue hard cap is the pool total (the pool is the binding
+        constraint; fault squeezes still clamp the cap below it).
+        """
+        if config.buffer_policy == "static":
+            if ecn:
+                voq: DropTailQueue = ECNMarkingQueue(
+                    config.voq_capacity, config.ecn_threshold, name
+                )
+            else:
+                voq = DropTailQueue(config.voq_capacity, name)
         else:
-            voq = DropTailQueue(config.voq_capacity, name)
+            pool = SharedBufferPool(
+                config.tor_buffer_total(n_voqs=1),
+                policy=config.buffer_policy,
+                alpha=config.buffer_alpha,
+                name=f"pool-r{rack}",
+            )
+            testbed.pools[rack] = pool
+            telemetry.instrument_pool(pool, sim)
+            if ecn:
+                voq = PooledECNMarkingQueue(pool, config.ecn_threshold, name=name)
+            else:
+                voq = PooledDropTailQueue(pool, name=name)
         telemetry.instrument_queue(voq, sim)
         return voq
 
@@ -132,7 +162,7 @@ def build_two_rack_testbed(
         uplink = RackUplink(
             sim,
             paths,
-            make_voq(f"voq-r{src_rack}-to-r{dst_rack}"),
+            make_voq(src_rack, f"voq-r{src_rack}-to-r{dst_rack}"),
             # forward directly (deliver_local is a plain delegate and
             # would cost one frame per cross-rack packet).
             tors[dst_rack].forward,

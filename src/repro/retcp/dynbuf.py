@@ -42,6 +42,19 @@ class DynamicBufferController:
         self.connections: List[ReTCPConnection] = []
         self._last_tdn: int = 0
         self.resizes = 0
+        # Shared-buffer fabrics: the managed VOQs draw from per-ToR
+        # pools, so the pre-circuit enlargement must grow the *pool*
+        # (resize_total also lifts each member queue's hard cap) — a
+        # per-queue resize alone would leave the pool the binding
+        # constraint and the pre-fill impossible. One entry per
+        # distinct pool: (pool, number of managed queues it backs).
+        pools: dict = {}
+        for uplink in self.uplinks:
+            queue = uplink.queue
+            if queue._pooled:
+                entry = pools.setdefault(id(queue.pool), [queue.pool, 0])
+                entry[1] += 1
+        self._pools = [tuple(entry) for entry in pools.values()]
         driver.on_day_lead(lead_ns, self._before_circuit, tdn_id=optical_tdn)
         driver.on_day_start(self._day_started)
         driver.on_night_start(self._night_started)
@@ -56,8 +69,12 @@ class DynamicBufferController:
     # Schedule hooks
     # ------------------------------------------------------------------
     def _before_circuit(self, tdn_id: int, day_index: int) -> None:
+        delta = self.circuit_capacity - self.normal_capacity
+        for pool, n_queues in self._pools:
+            pool.resize_total(pool.total + delta * n_queues)
         for uplink in self.uplinks:
-            uplink.queue.resize(self.circuit_capacity)
+            if not uplink.queue._pooled:
+                uplink.queue.resize(self.circuit_capacity)
         self.resizes += 1
         for connection in self.connections:
             connection.ramp_up()
@@ -69,7 +86,11 @@ class DynamicBufferController:
         if self._last_tdn != self.optical_tdn:
             return
         # The circuit day just ended: shrink the VOQ and ramp down.
+        delta = self.circuit_capacity - self.normal_capacity
+        for pool, n_queues in self._pools:
+            pool.resize_total(pool.total - delta * n_queues)
         for uplink in self.uplinks:
-            uplink.queue.resize(self.normal_capacity)
+            if not uplink.queue._pooled:
+                uplink.queue.resize(self.normal_capacity)
         for connection in self.connections:
             connection.ramp_down()
