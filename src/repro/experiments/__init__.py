@@ -1,9 +1,18 @@
 """Experiment harness: variants, runner, parallel executor, and
 per-figure definitions."""
 
+from repro.experiments.backoff import BackoffPolicy
+from repro.experiments.checkpoint import (
+    CampaignCheckpoint,
+    ResumePlan,
+    RunCheckpoint,
+    checkpoint_path,
+    load_resume_plan,
+)
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.executor import (
     BatchStats,
+    CampaignAborted,
     ExperimentExecutor,
     ResultCache,
 )
@@ -21,4 +30,11 @@ __all__ = [
     "ExperimentExecutor",
     "ResultCache",
     "BatchStats",
+    "BackoffPolicy",
+    "CampaignAborted",
+    "CampaignCheckpoint",
+    "ResumePlan",
+    "RunCheckpoint",
+    "checkpoint_path",
+    "load_resume_plan",
 ]

@@ -1,0 +1,77 @@
+"""Seeded exponential backoff with full jitter for executor retries.
+
+Before this module, a failed run was resubmitted to the pool
+immediately — a transient fault (an OOM-killed worker, a briefly
+wedged filesystem) was hammered back-to-back with zero spacing. The
+classic fix is *capped exponential backoff with full jitter* (the
+AWS architecture-blog recipe): attempt ``n`` sleeps a uniform draw
+from ``[0, min(cap, base * multiplier**(n-1))]``.
+
+Two reproducibility constraints shape the implementation:
+
+* **Determinism** — delays come from a :class:`~repro.sim.rng.SeededRandom`
+  fork keyed by ``(label, attempt)``, not from a shared stream, so the
+  schedule for any one run is independent of how many *other* runs
+  failed or in what order their retries interleaved. Same seed →
+  byte-identical delay schedule.
+* **Testability** — the policy only *computes* delays.  Sleeping is the
+  executor's job, through an injectable ``sleep`` callable, so tests
+  assert on the schedule without waiting on a wall clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.rng import SeededRandom
+
+__all__ = ["BackoffPolicy"]
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Capped exponential backoff with full jitter, seeded per decision.
+
+    ``delay_s(label, attempt)`` is a pure function of the policy fields
+    and its arguments: attempt 1 draws from ``[0, base_s]``, attempt 2
+    from ``[0, base_s * multiplier]``, …, with the envelope capped at
+    ``cap_s``.
+    """
+
+    base_s: float = 0.1
+    cap_s: float = 5.0
+    multiplier: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base_s < 0:
+            raise ValueError(f"base_s must be >= 0, got {self.base_s}")
+        if self.cap_s < self.base_s:
+            raise ValueError(
+                f"cap_s ({self.cap_s}) must be >= base_s ({self.base_s})"
+            )
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+
+    def envelope_s(self, attempt: int) -> float:
+        """The jitter-free upper bound for retry ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        return min(self.cap_s, self.base_s * self.multiplier ** (attempt - 1))
+
+    def delay_s(self, label: str, attempt: int) -> float:
+        """Full-jitter delay before retry ``attempt`` of run ``label``.
+
+        A fresh fork per ``(label, attempt)`` keeps the draw independent
+        of every other retry decision in the campaign — schedules never
+        shift when an unrelated run starts failing.
+        """
+        envelope = self.envelope_s(attempt)
+        if envelope <= 0.0:
+            return 0.0
+        rng = SeededRandom(self.seed).fork(f"backoff:{label}:{attempt}")
+        return rng.uniform(0.0, envelope)
+
+    def schedule(self, label: str, attempts: int) -> list:
+        """The full delay schedule for ``attempts`` retries of a run."""
+        return [self.delay_s(label, n) for n in range(1, attempts + 1)]

@@ -1,0 +1,262 @@
+"""Crash-safe campaign checkpointing: terminal-state journal + sidecar.
+
+A campaign that dies mid-flight (OOM kill, scheduler SIGTERM, Ctrl-C,
+power loss) must be resumable without re-executing completed work and
+— just as important — without *changing the answer*: the ROADMAP's
+sweep fabric calls for incremental re-runs whose merged
+:func:`~repro.obs.campaign.campaign_summary` is byte-identical to an
+uninterrupted run. Two artifacts make that possible:
+
+* The **campaign journal** (PR 6's :class:`~repro.obs.campaign.CampaignLog`
+  JSONL) already records every run's full lifecycle. It is the ground
+  truth — :meth:`CampaignCheckpoint.from_journal` can always rebuild
+  the terminal state from it, tolerating the truncated final line a
+  SIGKILL leaves behind.
+* The **checkpoint sidecar** (``<log>.ckpt.json``) is a small,
+  atomically-replaced digest of per-run terminal state (finished /
+  failed / quarantined, attempts, cache key), updated after every
+  terminal event. It spares resume a full journal replay for the
+  common bookkeeping and survives even when the journal's tail is torn.
+
+The executor's write ordering makes every kill window safe::
+
+    emit terminal record  ->  update + save sidecar  ->  cache.put
+
+A crash between any two steps only ever loses *later* state: a run
+whose terminal record exists but whose sidecar entry (or cache entry)
+is missing simply re-executes on resume, and determinism guarantees it
+re-emits the identical lifecycle.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.campaign import (
+    CAMPAIGN_SCHEMA_VERSION,
+    META_EVENTS,
+    read_campaign_with_tail,
+)
+
+__all__ = [
+    "TERMINAL_STATES",
+    "RunCheckpoint",
+    "CampaignCheckpoint",
+    "ResumePlan",
+    "checkpoint_path",
+    "load_resume_plan",
+]
+
+#: Per-run terminal states a checkpoint records. ``finished`` covers
+#: both executed successes and cache hits (``cache_hit`` disambiguates);
+#: ``failed`` marks infrastructure casualties that resume *resubmits*;
+#: ``quarantined`` marks poison runs that resume must *never* resubmit.
+TERMINAL_STATES = ("finished", "failed", "quarantined")
+
+
+@dataclass
+class RunCheckpoint:
+    """Terminal state of one run, as the checkpoint sidecar records it."""
+
+    label: str
+    index: int
+    state: str
+    attempts: int = 1
+    retries: int = 0
+    cache_key: Optional[str] = None
+    cache_hit: bool = False
+    cache_miss: bool = False
+    executed: bool = False
+    outcome: Optional[str] = None
+    error_type: Optional[str] = None
+    error_message: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ValueError("label must be non-empty")
+        if self.state not in TERMINAL_STATES:
+            raise ValueError(
+                f"state must be one of {TERMINAL_STATES}, got {self.state!r}"
+            )
+        if self.index < 0:
+            raise ValueError(f"index must be >= 0, got {self.index}")
+        if self.attempts < 0 or self.retries < 0:
+            raise ValueError("attempts/retries must be >= 0")
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "index": self.index,
+            "state": self.state,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "cache_key": self.cache_key,
+            "cache_hit": self.cache_hit,
+            "cache_miss": self.cache_miss,
+            "executed": self.executed,
+            "outcome": self.outcome,
+            "error_type": self.error_type,
+            "error_message": self.error_message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunCheckpoint":
+        return cls(**data)
+
+
+@dataclass
+class CampaignCheckpoint:
+    """All terminal run states of one campaign, keyed by run label."""
+
+    total: int = 0
+    runs: Dict[str, RunCheckpoint] = field(default_factory=dict)
+
+    def record(self, run: RunCheckpoint) -> None:
+        self.runs[run.label] = run
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": CAMPAIGN_SCHEMA_VERSION,
+            "total": self.total,
+            "runs": {
+                label: self.runs[label].to_dict() for label in sorted(self.runs)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignCheckpoint":
+        if data.get("schema") != CAMPAIGN_SCHEMA_VERSION:
+            raise ValueError(
+                f"checkpoint schema {data.get('schema')!r} != "
+                f"{CAMPAIGN_SCHEMA_VERSION}"
+            )
+        checkpoint = cls(total=int(data.get("total", 0)))
+        for payload in data.get("runs", {}).values():
+            checkpoint.record(RunCheckpoint.from_dict(payload))
+        return checkpoint
+
+    # ------------------------------------------------------------------
+    # Sidecar persistence (atomic: tmp file + rename, like ResultCache)
+    # ------------------------------------------------------------------
+    def save(self, path) -> str:
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(self.to_dict(), sort_keys=True) + "\n")
+        os.replace(tmp, path)
+        return str(path)
+
+    @classmethod
+    def load(cls, path) -> Optional["CampaignCheckpoint"]:
+        """The sidecar's checkpoint, or None when missing/corrupt/stale
+        — resume then falls back to :meth:`from_journal`."""
+        try:
+            text = pathlib.Path(path).read_text()
+        except OSError:
+            return None
+        try:
+            return cls.from_dict(json.loads(text))
+        except (ValueError, KeyError, TypeError):
+            return None
+
+    # ------------------------------------------------------------------
+    # Journal fallback
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_journal(cls, records: Sequence[dict]) -> "CampaignCheckpoint":
+        """Rebuild terminal state straight from campaign records.
+
+        Runs that never reached a terminal event (in flight at the
+        kill) are excluded — resume re-executes them. The journal is
+        authoritative: this works even when the sidecar never hit disk.
+        """
+        checkpoint = cls()
+        partial: Dict[str, dict] = {}
+        for record in records:
+            event = record.get("event")
+            if event == "campaign_start":
+                checkpoint.total += record.get("total", 0)
+                continue
+            label = record.get("run")
+            if not label or event in META_EVENTS:
+                continue
+            run = partial.setdefault(
+                label,
+                {"label": label, "index": 0, "state": None, "attempts": 0},
+            )
+            if event == "queued":
+                run["index"] = int(record.get("index", run["index"]))
+                if "key" in record:
+                    run["cache_key"] = record["key"]
+                if "cache_miss" in record:
+                    run["cache_miss"] = bool(record["cache_miss"])
+            elif event == "started":
+                run["attempts"] += 1
+                run["executed"] = True
+            elif event == "retry":
+                run["retries"] = run.get("retries", 0) + 1
+            elif event == "cache_hit":
+                run["state"] = "finished"
+                run["cache_hit"] = True
+            elif event == "finished":
+                run["state"] = "finished"
+                run["outcome"] = record.get("outcome")
+            elif event == "failed":
+                run["state"] = "failed"
+                run["error_type"] = record.get("error_type")
+                run["error_message"] = record.get("error_message")
+            elif event == "quarantined":
+                run["state"] = "quarantined"
+        for run in partial.values():
+            if run["state"] in TERMINAL_STATES:
+                checkpoint.record(RunCheckpoint.from_dict(run))
+        return checkpoint
+
+
+def checkpoint_path(log_path) -> str:
+    """The sidecar path for a campaign log: ``<log>.ckpt.json``."""
+    return f"{log_path}.ckpt.json"
+
+
+@dataclass
+class ResumePlan:
+    """Everything ``run_batch(resume_from=...)`` needs from a prior
+    campaign: the old journal's records (the replay source), the
+    terminal-state checkpoint (the decision source), and whether the
+    journal ended in a torn write."""
+
+    source: str
+    checkpoint: CampaignCheckpoint
+    records: List[dict]
+    partial_tail: Optional[str] = None
+    checkpoint_source: str = "sidecar"
+
+    def run_records(self, label: str) -> List[dict]:
+        """One run's full lifecycle, in journal order (replay input)."""
+        return [r for r in self.records if r.get("run") == label]
+
+
+def load_resume_plan(log_path) -> ResumePlan:
+    """Load a prior campaign for resumption.
+
+    Journal reading tolerates a truncated final line (the mid-write
+    crash artifact). The sidecar is preferred for terminal state; when
+    missing or corrupt the checkpoint is rebuilt from the journal.
+    """
+    records, tail = read_campaign_with_tail(log_path)
+    checkpoint = CampaignCheckpoint.load(checkpoint_path(log_path))
+    source = "sidecar"
+    if checkpoint is None:
+        checkpoint = CampaignCheckpoint.from_journal(records)
+        source = "journal"
+    return ResumePlan(
+        source=str(log_path),
+        checkpoint=checkpoint,
+        records=records,
+        partial_tail=tail,
+        checkpoint_source=source,
+    )

@@ -21,7 +21,12 @@ import tempfile
 from typing import Callable, Dict, List, Optional
 
 from repro.experiments import figures
-from repro.experiments.executor import DEFAULT_HEARTBEAT_EVENTS, ExperimentExecutor
+from repro.experiments.checkpoint import checkpoint_path, load_resume_plan
+from repro.experiments.executor import (
+    DEFAULT_HEARTBEAT_EVENTS,
+    CampaignAborted,
+    ExperimentExecutor,
+)
 from repro.obs.campaign import CampaignLog, LiveCampaignView
 from repro.obs.telemetry import ObsConfig
 from repro.experiments.report import (
@@ -39,6 +44,11 @@ from repro.experiments.sweeps import (
     duty_ratio_sweep,
 )
 from repro.net.queues import BUFFER_POLICIES
+
+#: Exit code for a SIGINT/SIGTERM campaign abort (EX_TEMPFAIL): the
+#: campaign checkpointed cleanly and ``--resume`` will pick it up —
+#: distinct from 1 (a run actually failed).
+EXIT_ABORTED = 75
 
 FIGURES: Dict[str, Callable] = {
     "fig2": figures.fig2,
@@ -129,6 +139,22 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"worker heartbeat cadence in simulator events (default: {DEFAULT_HEARTBEAT_EVENTS})",
     )
     parser.add_argument(
+        "--resume", metavar="JSONL", default=None,
+        help="resume an interrupted campaign from its journal: completed runs are "
+             "replayed from the checkpoint sidecar + result cache, only the "
+             "remainder executes (new journal defaults to <log>.resumed.jsonl)",
+    )
+    parser.add_argument(
+        "--executor-fault-plan", metavar="JSON", default=None,
+        help="executor-layer chaos plan (repro.faults.executor_chaos) injecting "
+             "worker kills, broken pools, and cache faults around the batch",
+    )
+    parser.add_argument(
+        "--chaos-dir", metavar="DIR", default=None,
+        help="chaos-executor target: where gauntlet journals/caches are written "
+             "(default: a fresh temporary directory)",
+    )
+    parser.add_argument(
         "--variant", default="tdtcp",
         help="variant for the 'chaos' target (default: tdtcp)",
     )
@@ -169,14 +195,37 @@ def executor_from_args(args) -> ExperimentExecutor:
     retry budget, and campaign bus straight from the flags, progress on
     stderr. ``--live`` upgrades the progress lines to an in-place TTY
     view when stderr is a terminal; otherwise it falls back to the
-    plain lines."""
+    plain lines.
+
+    ``--resume`` loads the prior journal *before* the new log opens
+    (opening truncates), defaults the new journal to
+    ``<log>.resumed.jsonl`` so the original survives as evidence, and
+    arms the executor's replay plan. Any journal-producing run also
+    gets a checkpoint sidecar (``<log>.ckpt.json``) so *it* can be
+    resumed in turn."""
+    resume = None
+    log_path = args.campaign_log
+    if args.resume:
+        resume = load_resume_plan(args.resume)
+        if resume.partial_tail is not None:
+            print(f"resume: tolerated truncated journal tail in {args.resume}",
+                  file=sys.stderr)
+        print(f"resume: {len(resume.checkpoint.runs)} terminal runs from "
+              f"{resume.checkpoint_source}", file=sys.stderr)
+        if log_path is None:
+            log_path = str(pathlib.Path(args.resume).with_suffix("")) + ".resumed.jsonl"
     campaign = None
     live = None
-    if args.campaign_log or args.live:
-        campaign = CampaignLog(args.campaign_log)
+    if log_path or args.live:
+        campaign = CampaignLog(log_path)
         if args.live and sys.stderr.isatty():
             live = LiveCampaignView(sys.stderr, jobs=args.jobs)
             campaign.subscribe(live.on_record)
+    chaos = None
+    if args.executor_fault_plan:
+        from repro.faults.executor_chaos import ExecutorChaos, load_executor_fault_plan
+
+        chaos = ExecutorChaos(load_executor_fault_plan(args.executor_fault_plan))
 
     def progress(done: int, total: int, label: str, outcome: str) -> None:
         print(f"  [{done}/{total}] {label}: {outcome}", file=sys.stderr)
@@ -190,6 +239,9 @@ def executor_from_args(args) -> ExperimentExecutor:
         progress=progress if (plain and live is None) else None,
         campaign=campaign,
         heartbeat_events=args.heartbeat_events,
+        resume=resume,
+        checkpoint_to=checkpoint_path(campaign.path) if (campaign and campaign.path) else None,
+        chaos=chaos,
     )
 
 
@@ -250,6 +302,11 @@ def run_figure(name: str, args) -> int:
             if result.profile_report:
                 sections.append(f"profile [{name}/{variant}]\n{result.profile_report}")
     sections.append(f"executor: {executor.last_batch.render()}")
+    if executor.resume is not None:
+        sections.append(
+            f"resume: {executor.last_replayed} replayed, "
+            f"{executor.last_fresh} executed fresh"
+        )
     if executor.campaign is not None:
         executor.campaign.close()
         if executor.campaign.path:
@@ -329,15 +386,178 @@ def run_chaos(args) -> int:
     return 0
 
 
+def run_chaos_executor(args) -> int:
+    """The executor-chaos gauntlet: one small campaign per fault kind
+    (worker kills, broken pools, ENOSPC cache writes, corrupt cache
+    entries, slow workers, torn journals + resume), each validated for
+    schema-clean records and **exactly one** terminal record per run.
+    With ``--executor-fault-plan`` runs that single plan instead.
+
+    A full pass exits 0; any lost/duplicated terminal record, schema
+    violation, or wrong resume summary exits 1."""
+    import json
+    import tempfile as tempfile_mod
+
+    from repro.experiments.config import ExperimentConfig
+    from repro.faults.executor_chaos import (
+        ExecutorChaos,
+        ExecutorFaultPlan,
+        ExecutorFaultSpec,
+        load_executor_fault_plan,
+        truncate_journal_tail,
+    )
+    from repro.obs.campaign import (
+        CAMPAIGN_SCHEMA_VERSION,
+        campaign_summary,
+        read_campaign,
+        validate_records,
+    )
+
+    jobs = max(args.jobs, 2)  # pool faults need an actual pool
+    out_dir = pathlib.Path(args.chaos_dir or tempfile_mod.mkdtemp(prefix="chaos-executor-"))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    configs = [
+        ExperimentConfig(
+            variant=args.variant, weeks=args.weeks, warmup_weeks=args.warmup,
+            n_flows=args.flows, seed=args.seed + i,
+        )
+        for i in range(3)
+    ]
+    labels = [f"{c.variant}/seed{c.seed}" for c in configs]
+
+    if args.executor_fault_plan:
+        legs = [("custom", load_executor_fault_plan(args.executor_fault_plan))]
+    else:
+        legs = [
+            ("worker_kill", ExecutorFaultPlan(
+                specs=(ExecutorFaultSpec(kind="worker_kill", target=labels[0]),))),
+            ("worker_kill_midrun", ExecutorFaultPlan(
+                specs=(ExecutorFaultSpec(kind="worker_kill", target=labels[1],
+                                         params={"after_events": 1}),))),
+            ("broken_pool", ExecutorFaultPlan(
+                specs=(ExecutorFaultSpec(kind="broken_pool", target=labels[0]),))),
+            ("cache_write_error", ExecutorFaultPlan(
+                specs=(ExecutorFaultSpec(kind="cache_write_error", count=0),))),
+            ("cache_corrupt", ExecutorFaultPlan(
+                specs=(ExecutorFaultSpec(kind="cache_corrupt", count=0),))),
+            ("slow_worker", ExecutorFaultPlan(
+                specs=(ExecutorFaultSpec(kind="slow_worker", target=labels[0],
+                                         params={"stall_s": 0.2}),))),
+            ("journal_truncate", ExecutorFaultPlan(
+                specs=(ExecutorFaultSpec(kind="journal_truncate"),))),
+        ]
+
+    def run_leg(name: str, plan: ExecutorFaultPlan, tag: str) -> tuple:
+        """One chaos campaign; returns (journal records, executor)."""
+        log_path = out_dir / f"{name}.{tag}.jsonl"
+        chaos = ExecutorChaos(plan)
+        with CampaignLog(str(log_path)) as log:
+            executor = ExperimentExecutor(
+                jobs=jobs,
+                cache_dir=str(out_dir / f"{name}.cache"),
+                retries=args.retries,
+                campaign=log,
+                heartbeat_events=args.heartbeat_events,
+                checkpoint_to=checkpoint_path(str(log_path)),
+                chaos=chaos,
+            )
+            executor.run_batch(configs, labels=labels)
+        for spec in plan.journal_truncate_specs():
+            truncate_journal_tail(log_path)
+        return log_path, chaos, executor
+
+    failures: List[str] = []
+
+    def check_records(name: str, records: List[dict]) -> None:
+        for error in validate_records(records):
+            failures.append(f"{name}: schema violation: {error}")
+        starts = [r for r in records if r["event"] == "campaign_start"]
+        if not starts or starts[0].get("schema") != CAMPAIGN_SCHEMA_VERSION:
+            failures.append(f"{name}: campaign_start missing or wrong schema")
+        for label in labels:
+            terminal = [r for r in records
+                        if r.get("run") == label
+                        and r["event"] in ("finished", "failed")]
+            if len(terminal) != 1:
+                failures.append(
+                    f"{name}: {label} has {len(terminal)} terminal records "
+                    f"(want exactly 1)")
+
+    for name, plan in legs:
+        log_path, chaos, executor = run_leg(name, plan, "a")
+        # read_campaign tolerates the deliberately torn tail in the
+        # journal_truncate leg; every terminal record precedes it.
+        records = read_campaign(log_path)
+        check_records(name, records)
+        if not chaos.log and plan.specs and name != "journal_truncate":
+            failures.append(f"{name}: plan armed but no fault fired")
+        if name == "cache_write_error":
+            wrote = executor.metrics.get("executor_cache_write_errors_total")
+            if not wrote or wrote.total() < 1:
+                failures.append(f"{name}: no cache write error was counted")
+        if name == "cache_corrupt":
+            # Corrupt entries must read back as misses: a warm re-run
+            # re-executes instead of erroring out.
+            rerun_path = out_dir / f"{name}.warm.jsonl"
+            with CampaignLog(str(rerun_path)) as log:
+                warm = ExperimentExecutor(
+                    jobs=jobs, cache_dir=str(out_dir / f"{name}.cache"),
+                    campaign=log, heartbeat_events=args.heartbeat_events,
+                )
+                results = warm.run_batch(configs, labels=labels)
+            if not all(r.ok for r in results):
+                failures.append(f"{name}: warm re-run over corrupt cache failed")
+        if name == "journal_truncate":
+            plan_loaded = load_resume_plan(str(log_path))
+            if plan_loaded.partial_tail is None:
+                failures.append(f"{name}: torn tail not detected")
+            resumed_path = out_dir / f"{name}.resumed.jsonl"
+            with CampaignLog(str(resumed_path)) as log:
+                resumed = ExperimentExecutor(
+                    jobs=jobs, cache_dir=str(out_dir / f"{name}.cache"),
+                    campaign=log, heartbeat_events=args.heartbeat_events,
+                    checkpoint_to=checkpoint_path(str(resumed_path)),
+                    resume=plan_loaded,
+                )
+                resumed.run_batch(configs, labels=labels)
+            # Reference: the same campaign, no chaos, fresh cache.
+            ref_path, _, _ = run_leg(f"{name}.ref", ExecutorFaultPlan(), "b")
+            ref = json.dumps(campaign_summary(read_campaign(ref_path)), sort_keys=True)
+            got = json.dumps(campaign_summary(read_campaign(resumed_path)), sort_keys=True)
+            if ref != got:
+                failures.append(f"{name}: resumed summary != uninterrupted summary")
+        fired = ", ".join(f"{kind}@{target}" for kind, target, _ in chaos.log) or "none"
+        print(f"  [{name}] survived — injected: {fired}")
+
+    print(f"chaos-executor: {len(legs)} legs, {len(failures)} violations "
+          f"(journals in {out_dir})")
+    for failure in failures:
+        print(f"  VIOLATION: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except CampaignAborted as abort:
+        print(f"aborted ({abort.reason}): {abort.done}/{abort.total} runs complete; "
+              f"checkpoint flushed — rerun with --resume to continue",
+              file=sys.stderr)
+        return EXIT_ABORTED
+
+
+def _dispatch(args) -> int:
     if args.target == "list":
         print("figures:", ", ".join(sorted(FIGURES)))
         print("sweeps: sweep-ratio, sweep-day, sweep-buffer")
         print("chaos: fault-plan run (--fault-plan/--audit/--check-determinism)")
+        print("chaos-executor: executor-layer fault gauntlet (--executor-fault-plan)")
         return 0
     if args.target == "chaos":
         return run_chaos(args)
+    if args.target == "chaos-executor":
+        return run_chaos_executor(args)
     if args.target in ("sweep-ratio", "sweep-day", "sweep-buffer"):
         from repro.faults.plan import FaultPlan
 
@@ -368,6 +588,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             written = sweep_to_csv(result, args.csv)
             print("CSV written:\n  " + "\n  ".join(written))
         print(f"executor: {executor.last_batch.render()}")
+        if executor.resume is not None:
+            print(f"resume: {executor.last_replayed} replayed, "
+                  f"{executor.last_fresh} executed fresh")
         if executor.campaign is not None:
             executor.campaign.close()
             if executor.campaign.path:

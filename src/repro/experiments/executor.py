@@ -7,7 +7,7 @@ seeded runs, so :class:`ExperimentExecutor` maps a list of
 processes and reassembles the results **in input order** — a parallel
 batch is value-identical to the sequential loop it replaces.
 
-Three layers:
+Four layers:
 
 * **Transport** — workers receive a config as its canonical dict
   (:meth:`ExperimentConfig.to_dict`) and return the result the same way
@@ -21,15 +21,30 @@ Three layers:
   every simulation-affecting field matches (fault plan included;
   telemetry output paths excluded), so a warm cache replays a batch
   without executing a single simulation. Corrupt or stale-schema
-  entries read as misses, never as errors. Runs with active telemetry
-  bypass the cache entirely — their artifacts must actually be written.
+  entries read as misses, never as errors; a failed *write* (ENOSPC, a
+  read-only volume) is counted and traced but never crashes the batch.
+  Runs with active telemetry bypass the cache entirely — their
+  artifacts must actually be written.
 * **Retry** — a bounded retry policy re-executes failed runs
   (``result.failure`` set, e.g. a watchdog wall-clock abort on a loaded
-  machine) up to ``retries`` extra times. Failures still standing after
-  the last attempt come back as structured
-  :class:`~repro.experiments.runner.RunFailure` results — callers
-  decide whether a failed item degrades or aborts the batch. Failed
-  results are never cached.
+  machine) up to ``retries`` extra times, spaced by seeded
+  exponential backoff with full jitter (:class:`BackoffPolicy`).
+  Failures still standing after the last attempt come back as
+  structured :class:`~repro.experiments.runner.RunFailure` results —
+  callers decide whether a failed item degrades or aborts the batch.
+  A run whose failure is *not* infrastructural (the simulation itself
+  crashed every attempt) is additionally **quarantined**: marked in the
+  campaign journal and checkpoint so a resumed campaign never
+  resubmits it. Failed results are never cached.
+* **Crash safety** — every terminal run event updates an atomically
+  replaced checkpoint sidecar (``checkpoint_to``), results are cached
+  write-through the moment a run finishes, and SIGINT/SIGTERM route
+  through a graceful-shutdown path that drains heartbeats, flushes the
+  checkpoint, emits a ``campaign_abort`` record, and raises
+  :class:`CampaignAborted`. ``run_batch(resume_from=...)`` replays
+  completed runs from the prior journal + cache and executes only the
+  remainder — the resumed journal digests byte-identically to an
+  uninterrupted run (see ``docs/robustness.md``).
 
 Progress and cache-hit/miss/retry counters are surfaced through a
 :class:`repro.obs.metrics.MetricsRegistry` (``executor_*`` families)
@@ -43,11 +58,26 @@ import multiprocessing
 import os
 import pathlib
 import queue as queue_mod
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import signal
+import threading
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass
 from time import perf_counter
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.experiments.backoff import BackoffPolicy
+from repro.experiments.checkpoint import (
+    CampaignCheckpoint,
+    ResumePlan,
+    RunCheckpoint,
+)
 from repro.experiments.config import CONFIG_SCHEMA_VERSION, ExperimentConfig
 from repro.experiments.runner import (
     ExperimentResult,
@@ -57,6 +87,7 @@ from repro.experiments.runner import (
 )
 from repro.obs.campaign import CAMPAIGN_SCHEMA_VERSION, CampaignLog
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracepoints import Tracepoint
 
 #: (done, total, label, outcome) — outcome is "cached", "ok", "failed",
 #: or "retry" (retry reports do not advance ``done``). ``done`` is
@@ -68,6 +99,40 @@ ProgressFn = Callable[[int, int, str, str], None]
 #: heap size) — frequent enough to spot a wedged run within seconds,
 #: rare enough to be invisible in the profile.
 DEFAULT_HEARTBEAT_EVENTS = 100_000
+
+#: Process-level probe (not simulator-attached — the executor runs in
+#: wall time): fired once per result-cache write failure. Tests and
+#: harnesses ``subscribe`` directly.
+CACHE_WRITE_ERROR_TP = Tracepoint(
+    "executor:cache_write_error",
+    ("key", "error"),
+    "result-cache write failed; the batch continues uncached",
+)
+
+
+class CampaignAborted(RuntimeError):
+    """A batch was interrupted (SIGINT/SIGTERM) and shut down cleanly:
+    pending work cancelled, heartbeats drained, checkpoint flushed, a
+    ``campaign_abort`` record emitted. The CLI maps this to a distinct
+    exit code so schedulers can tell an abort from a failure."""
+
+    def __init__(self, reason: str, done: int, total: int) -> None:
+        super().__init__(
+            f"campaign aborted ({reason}): {done}/{total} runs complete"
+        )
+        self.reason = reason
+        self.done = done
+        self.total = total
+
+
+class _ShutdownRequested(BaseException):
+    """Internal: raised by the signal handlers installed around
+    ``run_batch`` (BaseException so worker-error handling that catches
+    ``Exception`` can never swallow a shutdown)."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
 
 
 def execute_config_dict(payload: dict) -> dict:
@@ -100,7 +165,8 @@ def execute_config_dict_hb(payload: dict, label: str, hb_queue, every_events: in
 def _synthetic_failure(config: ExperimentConfig, error: Exception) -> ExperimentResult:
     """A structured failure for errors *outside* the run itself
     (transport, a broken worker) — ``run_experiment`` already converts
-    in-run crashes into ``result.failure``."""
+    in-run crashes into ``result.failure``. Marked ``infrastructure``
+    so resume resubmits instead of quarantining."""
     result = ExperimentResult(config=config, duration_ns=config.duration_ns)
     result.failure = RunFailure(
         error_type=type(error).__name__,
@@ -108,6 +174,7 @@ def _synthetic_failure(config: ExperimentConfig, error: Exception) -> Experiment
         seed=config.seed,
         fault_plan_path=config.fault_plan_path,
         bundle_path=None,
+        infrastructure=True,
     )
     return result
 
@@ -119,6 +186,8 @@ class ResultCache:
 
     def __init__(self, directory) -> None:
         self.directory = pathlib.Path(directory)
+        self.write_errors = 0
+        self.last_write_error: Optional[str] = None
 
     def path_for(self, key: str) -> pathlib.Path:
         return self.directory / key[:2] / f"{key}.json"
@@ -137,17 +206,30 @@ class ResultCache:
         except (ValueError, KeyError, TypeError):
             return None
 
-    def put(self, key: str, result: ExperimentResult) -> str:
+    def put(self, key: str, result: ExperimentResult) -> Optional[str]:
+        """Store one result; returns the entry path, or None when the
+        write failed (ENOSPC, permissions, …). A full disk must degrade
+        a batch to "uncached", never crash it — the caller counts and
+        traces the error and moves on."""
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        doc = {
-            "schema": CONFIG_SCHEMA_VERSION,
-            "key": key,
-            "result": result.to_dict(),
-        }
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(doc, sort_keys=True))
-        os.replace(tmp, path)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            doc = {
+                "schema": CONFIG_SCHEMA_VERSION,
+                "key": key,
+                "result": result.to_dict(),
+            }
+            tmp.write_text(json.dumps(doc, sort_keys=True))
+            os.replace(tmp, path)
+        except OSError as error:
+            self.write_errors += 1
+            self.last_write_error = f"{type(error).__name__}: {error}"
+            try:  # a half-written tmp file must not leak
+                tmp.unlink()
+            except OSError:
+                pass
+            return None
         return str(path)
 
 
@@ -161,13 +243,20 @@ class BatchStats:
     cache_misses: int = 0
     retries: int = 0
     failures: int = 0
+    quarantined: int = 0
+    broken_pools: int = 0
     wall_s: float = 0.0
 
     def render(self) -> str:
+        extras = ""
+        if self.quarantined:
+            extras += f", {self.quarantined} quarantined"
+        if self.broken_pools:
+            extras += f", {self.broken_pools} broken pools"
         return (
             f"{self.total} runs: {self.executed} executed, "
             f"{self.cache_hits} cache hits, {self.cache_misses} cache misses, "
-            f"{self.retries} retries, {self.failures} failures "
+            f"{self.retries} retries, {self.failures} failures{extras} "
             f"in {self.wall_s:.1f}s"
         )
 
@@ -189,6 +278,13 @@ class ExperimentExecutor:
         progress: Optional[ProgressFn] = None,
         campaign: Optional[CampaignLog] = None,
         heartbeat_events: int = DEFAULT_HEARTBEAT_EVENTS,
+        backoff: Optional[BackoffPolicy] = None,
+        resume: Optional[ResumePlan] = None,
+        checkpoint_to: Optional[str] = None,
+        chaos=None,
+        pool_rebuilds: int = 2,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = perf_counter,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -196,15 +292,30 @@ class ExperimentExecutor:
             raise ValueError("retries must be >= 0")
         if heartbeat_events < 1:
             raise ValueError("heartbeat_events must be >= 1")
+        if pool_rebuilds < 0:
+            raise ValueError("pool_rebuilds must be >= 0")
         self.jobs = jobs
         self.retries = retries
         self.cache = ResultCache(cache_dir) if (cache_dir and use_cache) else None
         self.progress = progress
         self.campaign = campaign
         self.heartbeat_events = heartbeat_events
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self.resume = resume
+        self.checkpoint_to = str(checkpoint_to) if checkpoint_to else None
+        self.chaos = chaos
+        self.pool_rebuilds = pool_rebuilds
+        self._sleep = sleep
+        self._clock = clock
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.last_batch = BatchStats()
+        self.last_replayed = 0
+        self.last_fresh = 0
         self._progress_done = 0
+        self._ckpt: Optional[CampaignCheckpoint] = None
+        self._batch_labels: List[str] = []
+        self._batch_keys: List[Optional[str]] = []
+        self._batch_missed: set = set()
         self._m_hits = self.metrics.counter(
             "executor_cache_hits_total", "batch items served from the result cache"
         )
@@ -217,6 +328,22 @@ class ExperimentExecutor:
         self._m_runs = self.metrics.counter(
             "executor_runs_total", "completed batch items", ("outcome",)
         )
+        self._m_cache_write_errors = self.metrics.counter(
+            "executor_cache_write_errors_total",
+            "result-cache writes that failed (run continued uncached)",
+        )
+        self._m_backoff_s = self.metrics.counter(
+            "executor_backoff_seconds_total",
+            "seconds of retry backoff delay scheduled",
+        )
+        self._m_quarantined = self.metrics.counter(
+            "executor_quarantined_total",
+            "poison runs quarantined after failing every attempt",
+        )
+        self._m_pool_rebuilds = self.metrics.counter(
+            "executor_pool_rebuilds_total",
+            "worker pools rebuilt after breaking mid-batch",
+        )
 
     # ------------------------------------------------------------------
     # Batch execution
@@ -225,65 +352,124 @@ class ExperimentExecutor:
         self,
         configs: Sequence[ExperimentConfig],
         labels: Optional[Sequence[str]] = None,
+        resume_from: Optional[ResumePlan] = None,
     ) -> List[ExperimentResult]:
         """Run every config; results come back in input order no matter
         which worker finished first (order-independent assembly — the
-        determinism contract the figures rely on)."""
+        determinism contract the figures rely on).
+
+        With ``resume_from`` (or an executor-level ``resume`` plan),
+        runs the prior campaign already completed are *replayed*: their
+        journal records are re-emitted verbatim and their results come
+        from the cache (or, for quarantined runs, from the recorded
+        failure) — zero simulations re-execute for them, and the new
+        journal digests byte-identically to an uninterrupted run.
+        """
         configs = list(configs)
         if labels is None:
             labels = [f"{c.variant}/seed{c.seed}" for c in configs]
         if len(labels) != len(configs):
             raise ValueError("labels must match configs one-to-one")
+        resume = resume_from if resume_from is not None else self.resume
         started_wall = perf_counter()
         stats = self.last_batch = BatchStats(total=len(configs))
         self._progress_done = 0
+        self.last_replayed = 0
+        self.last_fresh = 0
         results: List[Optional[ExperimentResult]] = [None] * len(configs)
         keys = [self._cacheable_key(c) for c in configs]
+        self._batch_labels = list(labels)
+        self._batch_keys = keys
+        self._batch_missed = set()
+        if self.checkpoint_to is not None:
+            # The checkpoint is cumulative across batches in one log
+            # (sweeps emit several campaign_start records): totals
+            # accumulate exactly like campaign_summary's.
+            if self._ckpt is None:
+                self._ckpt = CampaignCheckpoint()
+            self._ckpt.total += len(configs)
+        replay = self._plan_replays(configs, labels, keys, resume)
         done = 0
-        self._emit(
-            "campaign_start",
-            schema=CAMPAIGN_SCHEMA_VERSION,
-            total=len(configs),
-            jobs=self.jobs,
-        )
+        with self._signal_guard():
+            try:
+                self._emit(
+                    "campaign_start",
+                    schema=CAMPAIGN_SCHEMA_VERSION,
+                    total=len(configs),
+                    jobs=self.jobs,
+                )
+                if resume is not None:
+                    self._emit(
+                        "campaign_resume",
+                        schema=CAMPAIGN_SCHEMA_VERSION,
+                        total=len(configs),
+                        replayed=len(replay),
+                        remaining=len(configs) - len(replay),
+                        jobs=self.jobs,
+                    )
+                pending: List[int] = []
+                for i, config in enumerate(configs):
+                    if i in replay:
+                        done = self._replay_run(i, replay[i], resume, results, stats, done)
+                        continue
+                    queued = dict(
+                        run=labels[i],
+                        index=i,
+                        total=len(configs),
+                        variant=config.variant,
+                        seed=config.seed,
+                    )
+                    cached = self.cache.get(keys[i]) if keys[i] is not None else None
+                    if keys[i] is not None:
+                        # The key and miss flag let a checkpoint be
+                        # rebuilt from the journal alone.
+                        queued["key"] = keys[i]
+                        queued["cache_miss"] = cached is None
+                    self._emit("queued", **queued)
+                    if cached is not None:
+                        results[i] = cached
+                        stats.cache_hits += 1
+                        self._m_hits.inc(1)
+                        done += 1
+                        self._emit("cache_hit", run=labels[i], index=i)
+                        self._checkpoint_terminal(
+                            i, "finished", attempts=0, retries=0,
+                            cache_hit=True, outcome="ok",
+                        )
+                        self._report(done, stats.total, labels[i], "cached")
+                        continue
+                    if keys[i] is not None:
+                        stats.cache_misses += 1
+                        self._m_misses.inc(1)
+                        self._batch_missed.add(i)
+                    pending.append(i)
 
-        pending: List[int] = []
-        for i, config in enumerate(configs):
-            self._emit(
-                "queued",
-                run=labels[i],
-                index=i,
-                total=len(configs),
-                variant=config.variant,
-                seed=config.seed,
-            )
-            cached = self.cache.get(keys[i]) if keys[i] is not None else None
-            if cached is not None:
-                results[i] = cached
-                stats.cache_hits += 1
-                self._m_hits.inc(1)
-                done += 1
-                self._emit("cache_hit", run=labels[i], index=i)
-                self._report(done, stats.total, labels[i], "cached")
-                continue
-            if keys[i] is not None:
-                stats.cache_misses += 1
-                self._m_misses.inc(1)
-            pending.append(i)
-
-        if pending:
-            stats.executed += len(pending)
-            if self.jobs == 1 or len(pending) == 1:
-                for i in pending:
-                    results[i] = self._run_inline(configs[i], labels[i], stats, done)
-                    done += 1
-                    self._finish_item(results[i], labels[i], done, stats)
-            else:
-                done = self._run_pool(configs, labels, pending, results, done, stats)
-
-        for i in pending:
-            if self.cache is not None and keys[i] is not None and results[i].ok:
-                self.cache.put(keys[i], results[i])
+                if pending:
+                    stats.executed += len(pending)
+                    if self.jobs == 1 or len(pending) == 1:
+                        for i in pending:
+                            result, attempts = self._run_inline(
+                                configs[i], labels[i], stats, done
+                            )
+                            results[i] = result
+                            done += 1
+                            self._finish_item(i, result, labels[i], done, stats, attempts)
+                    else:
+                        done = self._run_pool(configs, labels, pending, results, done, stats)
+            except (KeyboardInterrupt, _ShutdownRequested) as error:
+                reason = getattr(error, "reason", "SIGINT")
+                if self._ckpt is not None and self.checkpoint_to is not None:
+                    self._ckpt.save(self.checkpoint_to)
+                stats.wall_s = perf_counter() - started_wall
+                self._emit(
+                    "campaign_abort",
+                    reason=reason,
+                    done=self._progress_done,
+                    total=len(configs),
+                )
+                raise CampaignAborted(
+                    reason, done=self._progress_done, total=len(configs)
+                ) from error
         stats.wall_s = perf_counter() - started_wall
         self._emit("campaign_end", stats=asdict(stats))
         return results  # type: ignore[return-value]
@@ -302,6 +488,32 @@ class ExperimentExecutor:
         if self.campaign is not None:
             self.campaign.emit(event, **fields)
 
+    @contextmanager
+    def _signal_guard(self):
+        """Route SIGINT/SIGTERM into the graceful-shutdown path for the
+        duration of a batch (main thread only; otherwise a no-op)."""
+        if threading.current_thread() is not threading.main_thread():
+            yield
+            return
+        previous: Dict[int, object] = {}
+
+        def handler(signum, _frame):
+            raise _ShutdownRequested(signal.Signals(signum).name)
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[sig] = signal.signal(sig, handler)
+            except (ValueError, OSError):  # pragma: no cover - exotic hosts
+                pass
+        try:
+            yield
+        finally:
+            for sig, old in previous.items():
+                try:
+                    signal.signal(sig, old)
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
+
     def _report(self, done: int, total: int, label: str, outcome: str) -> None:
         # Clamp to the high-water mark: retry reports and out-of-order
         # completion can hand in stale counts, but consumers see a
@@ -311,24 +523,219 @@ class ExperimentExecutor:
         if self.progress is not None:
             self.progress(self._progress_done, total, label, outcome)
 
-    def _finish_item(
-        self, result: ExperimentResult, label: str, done: int, stats: BatchStats
+    # -- resume ---------------------------------------------------------
+    def _plan_replays(
+        self,
+        configs: List[ExperimentConfig],
+        labels: Sequence[str],
+        keys: List[Optional[str]],
+        resume: Optional[ResumePlan],
+    ) -> Dict[int, Tuple[RunCheckpoint, ExperimentResult]]:
+        """Which batch indices can be replayed from the prior campaign,
+        with the result each replay hands back. Everything else — runs
+        the prior campaign never finished, infrastructure failures, and
+        finished runs whose cached result is gone or whose config
+        changed (key mismatch) — executes fresh."""
+        replay: Dict[int, Tuple[RunCheckpoint, ExperimentResult]] = {}
+        if resume is None:
+            return replay
+        for i, config in enumerate(configs):
+            entry = resume.checkpoint.runs.get(labels[i])
+            if entry is None or entry.state == "failed":
+                continue  # unknown / in-flight / infrastructure: resubmit
+            if entry.state == "quarantined":
+                result = ExperimentResult(config=config, duration_ns=config.duration_ns)
+                result.failure = RunFailure(
+                    error_type=entry.error_type or "RunFailure",
+                    error_message=entry.error_message or "",
+                    seed=config.seed,
+                    fault_plan_path=config.fault_plan_path,
+                    bundle_path=None,
+                )
+                replay[i] = (entry, result)
+                continue
+            if keys[i] is None or entry.cache_key != keys[i]:
+                continue
+            cached = self.cache.get(keys[i]) if self.cache is not None else None
+            if cached is None:
+                continue
+            replay[i] = (entry, cached)
+        return replay
+
+    def _replay_run(
+        self,
+        i: int,
+        entry_result: Tuple[RunCheckpoint, ExperimentResult],
+        resume: ResumePlan,
+        results: List[Optional[ExperimentResult]],
+        stats: BatchStats,
+        done: int,
+    ) -> int:
+        """Re-emit one completed run's journal records verbatim (fresh
+        seq/wall clock, ``replayed`` marker) and hand back its prior
+        result. The per-run record sequence — and therefore the
+        campaign summary — is indistinguishable from an uninterrupted
+        run's."""
+        entry, result = entry_result
+        label = self._batch_labels[i]
+        for record in resume.run_records(label):
+            fields = {
+                k: v
+                for k, v in record.items()
+                if k not in ("event", "seq", "wall_ms", "replayed")
+            }
+            self._emit(record["event"], replayed=True, **fields)
+        results[i] = result
+        if entry.cache_hit:
+            stats.cache_hits += 1
+            self._m_hits.inc(1)
+        if entry.cache_miss:
+            stats.cache_misses += 1
+            self._m_misses.inc(1)
+        if entry.executed:
+            stats.executed += 1
+        if entry.retries:
+            stats.retries += entry.retries
+            self._m_retries.inc(entry.retries)
+        if entry.state in ("failed", "quarantined"):
+            stats.failures += 1
+            self._m_runs.inc(1, outcome="failed")
+        else:
+            self._m_runs.inc(1, outcome="ok")
+        if entry.state == "quarantined":
+            stats.quarantined += 1
+            self._m_quarantined.inc(1)
+        if self._ckpt is not None and self.checkpoint_to is not None:
+            self._ckpt.record(entry)
+            self._ckpt.save(self.checkpoint_to)
+        done += 1
+        self.last_replayed += 1
+        self._report(done, stats.total, label, "cached" if result.ok else "failed")
+        return done
+
+    # -- terminal bookkeeping ------------------------------------------
+    def _checkpoint_terminal(
+        self,
+        i: int,
+        state: str,
+        attempts: int,
+        retries: int,
+        *,
+        cache_hit: bool = False,
+        executed: bool = False,
+        outcome: Optional[str] = None,
+        error_type: Optional[str] = None,
+        error_message: Optional[str] = None,
     ) -> None:
+        if self._ckpt is None or self.checkpoint_to is None:
+            return
+        self._ckpt.record(
+            RunCheckpoint(
+                label=self._batch_labels[i],
+                index=i,
+                state=state,
+                attempts=attempts,
+                retries=retries,
+                cache_key=self._batch_keys[i],
+                cache_hit=cache_hit,
+                cache_miss=i in self._batch_missed,
+                executed=executed,
+                outcome=outcome,
+                error_type=error_type,
+                error_message=error_message,
+            )
+        )
+        self._ckpt.save(self.checkpoint_to)
+
+    def _cache_put(self, i: int, result: ExperimentResult) -> None:
+        """Write-through caching at run completion (not batch end), so
+        a kill after a run's terminal record loses at most that one
+        uncached result. Write errors degrade to uncached: counted,
+        traced, never fatal."""
+        key = self._batch_keys[i]
+        if self.cache is None or key is None or not result.ok:
+            return
+        error: Optional[str] = None
+        path: Optional[str] = None
+        try:
+            if self.chaos is not None:
+                self.chaos.on_cache_put(key)  # may raise OSError/ENOSPC
+            path = self.cache.put(key, result)
+            if path is None:
+                error = self.cache.last_write_error or "OSError"
+        except OSError as exc:
+            error = f"{type(exc).__name__}: {exc}"
+        if error is not None:
+            self._m_cache_write_errors.inc(1)
+            if CACHE_WRITE_ERROR_TP.enabled:
+                CACHE_WRITE_ERROR_TP.emit(0, key=key, error=error)
+            return
+        if self.chaos is not None:
+            self.chaos.after_cache_put(key, path)
+
+    def _finish_item(
+        self,
+        i: int,
+        result: ExperimentResult,
+        label: str,
+        done: int,
+        stats: BatchStats,
+        attempts: int,
+    ) -> None:
+        self.last_fresh += 1
+        retries = max(attempts - 1, 0)
         if result.ok:
             self._m_runs.inc(1, outcome="ok")
             self._emit("finished", run=label, outcome="ok", sketches=result.sketches)
-            self._report(done, stats.total, label, "ok")
-        else:
-            stats.failures += 1
-            self._m_runs.inc(1, outcome="failed")
-            self._emit(
-                "failed",
-                run=label,
-                error_type=result.failure.error_type,
-                error_message=result.failure.error_message,
+            self._checkpoint_terminal(
+                i, "finished", attempts, retries, executed=True, outcome="ok"
             )
-            self._report(done, stats.total, label, "failed")
+            # Report before the cache write: the run is durably terminal
+            # once checkpointed, and a multi-MB cache entry can take long
+            # enough that an abort landing mid-write would undercount
+            # ``done`` in the campaign_abort record.
+            self._report(done, stats.total, label, "ok")
+            self._cache_put(i, result)
+            return
+        stats.failures += 1
+        self._m_runs.inc(1, outcome="failed")
+        self._emit(
+            "failed",
+            run=label,
+            error_type=result.failure.error_type,
+            error_message=result.failure.error_message,
+        )
+        # The simulation itself failed every attempt: poison. Resume
+        # must never resubmit it. Infrastructure casualties (broken
+        # pool, transport) stay plain "failed" and are resubmitted.
+        quarantine = not result.failure.infrastructure
+        if quarantine:
+            stats.quarantined += 1
+            self._m_quarantined.inc(1)
+            self._emit("quarantined", run=label, attempts=attempts)
+        self._checkpoint_terminal(
+            i,
+            "quarantined" if quarantine else "failed",
+            attempts,
+            retries,
+            executed=True,
+            error_type=result.failure.error_type,
+            error_message=result.failure.error_message,
+        )
+        self._report(done, stats.total, label, "failed")
 
+    # -- backoff --------------------------------------------------------
+    def _backoff_delay(self, label: str, retry_n: int) -> float:
+        """The (seeded, full-jitter) delay before retry ``retry_n``;
+        accounted in the backoff metric. 0.0 when no policy applies."""
+        if self.backoff is None or retry_n < 1:
+            return 0.0
+        delay = self.backoff.delay_s(label, retry_n)
+        if delay > 0:
+            self._m_backoff_s.inc(delay)
+        return delay
+
+    # -- execution paths ------------------------------------------------
     def _run_once(self, config: ExperimentConfig) -> ExperimentResult:
         try:
             return ExperimentResult.from_dict(execute_config_dict(config.to_dict()))
@@ -337,7 +744,7 @@ class ExperimentExecutor:
 
     def _run_inline(
         self, config: ExperimentConfig, label: str, stats: BatchStats, done: int
-    ) -> ExperimentResult:
+    ) -> Tuple[ExperimentResult, int]:
         campaign = self.campaign
         if campaign is not None:
             # Inline runs heartbeat straight into the log — same hook,
@@ -365,14 +772,31 @@ class ExperimentExecutor:
                 attempt += 1
                 self._emit("retry", run=label, attempt=attempt)
                 self._report(done, stats.total, label, "retry")
+                delay = self._backoff_delay(label, attempt - 1)
+                if delay > 0:
+                    self._sleep(delay)
                 self._emit("started", run=label, attempt=attempt)
                 result = self._run_once(config)
-            return result
+            return result, attempt
         finally:
             if campaign is not None:
                 set_worker_heartbeat(None)
 
-    def _submit(self, pool, config: ExperimentConfig, label: str, hb_queue):
+    def _submit(self, pool, config: ExperimentConfig, label: str, attempt: int, hb_queue):
+        directive = None
+        if self.chaos is not None:
+            directive = self.chaos.worker_directive(label, attempt)
+        if directive is not None:
+            from repro.faults.executor_chaos import execute_config_dict_chaos
+
+            return pool.submit(
+                execute_config_dict_chaos,
+                config.to_dict(),
+                label,
+                hb_queue,
+                self.heartbeat_events,
+                directive,
+            )
         if hb_queue is None:
             return pool.submit(execute_config_dict, config.to_dict())
         return pool.submit(
@@ -420,54 +844,127 @@ class ExperimentExecutor:
             # live view updates while runs are still in flight.
             manager = ctx.Manager()
             hb_queue = manager.Queue()
-        try:
-            with ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(pending)), mp_context=ctx
-            ) as pool:
-                futures = {}
-                for i in pending:
-                    futures[self._submit(pool, configs[i], labels[i], hb_queue)] = i
-                    self._emit("started", run=labels[i], attempt=1)
-                while futures:
-                    if hb_queue is None:
-                        finished, _ = wait(set(futures), return_when=FIRST_COMPLETED)
-                    else:
-                        finished, _ = wait(
-                            set(futures), timeout=0.2, return_when=FIRST_COMPLETED
-                        )
-                        # A worker's heartbeats are all enqueued (the
-                        # manager put is synchronous) before its future
-                        # resolves, so draining here keeps each run's
-                        # heartbeats ahead of its finished event.
-                        self._drain_heartbeats(hb_queue)
-                    for fut in finished:
-                        i = futures.pop(fut)
-                        try:
-                            result = ExperimentResult.from_dict(fut.result())
-                        except Exception as error:
-                            result = _synthetic_failure(configs[i], error)
-                        if not result.ok and attempts_left[i] > 0:
-                            attempts_left[i] -= 1
-                            stats.retries += 1
-                            self._m_retries.inc(1)
-                            attempts[i] += 1
-                            self._emit("retry", run=labels[i], attempt=attempts[i])
-                            self._report(done, stats.total, labels[i], "retry")
-                            try:
-                                futures[
-                                    self._submit(pool, configs[i], labels[i], hb_queue)
-                                ] = i
-                                self._emit(
-                                    "started", run=labels[i], attempt=attempts[i]
-                                )
-                                continue
-                            except Exception as error:  # pool already broken
-                                result = _synthetic_failure(configs[i], error)
-                        results[i] = result
-                        done += 1
-                        self._finish_item(result, labels[i], done, stats)
+        max_workers = min(self.jobs, len(pending))
+        pool = ProcessPoolExecutor(max_workers=max_workers, mp_context=ctx)
+        futures: Dict = {}
+        # (ready_at, index): initial submissions (ready now) and retry
+        # resubmissions waiting out their backoff window.
+        deferred: List[Tuple[float, int]] = [(0.0, i) for i in pending]
+        rebuilds_left = self.pool_rebuilds
+
+        def settle(i: int, result: ExperimentResult) -> None:
+            nonlocal done
+            if not result.ok and attempts_left[i] > 0:
+                attempts_left[i] -= 1
+                stats.retries += 1
+                self._m_retries.inc(1)
+                attempts[i] += 1
+                self._emit("retry", run=labels[i], attempt=attempts[i])
+                self._report(done, stats.total, labels[i], "retry")
+                delay = self._backoff_delay(labels[i], attempts[i] - 1)
+                deferred.append((self._clock() + delay, i))
+                return
+            results[i] = result
+            done += 1
+            self._finish_item(i, result, labels[i], done, stats, attempts[i])
+
+        def submit_one(i: int) -> None:
+            if self.chaos is not None:
+                self.chaos.on_submit(labels[i], attempts[i])  # may raise
+            futures[self._submit(pool, configs[i], labels[i], attempts[i], hb_queue)] = i
+            self._emit("started", run=labels[i], attempt=attempts[i])
+
+        def handle_broken(error: BaseException, casualties: List[int]) -> None:
+            # A dead child poisons the whole pool: every in-flight run
+            # is a casualty. Each consumes an attempt (retried on a
+            # fresh pool, with backoff); when the rebuild budget is
+            # spent the casualties surface as infrastructure failures.
+            nonlocal pool, rebuilds_left
+            stats.broken_pools += 1
             if hb_queue is not None:
                 self._drain_heartbeats(hb_queue)
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+            if rebuilds_left > 0:
+                rebuilds_left -= 1
+                pool = ProcessPoolExecutor(max_workers=max_workers, mp_context=ctx)
+                self._m_pool_rebuilds.inc(1)
+            else:
+                for i in casualties:
+                    attempts_left[i] = 0
+            for i in sorted(casualties):
+                settle(i, _synthetic_failure(configs[i], error))
+
+        try:
+            while futures or deferred:
+                now = self._clock()
+                ready = sorted(item for item in deferred if item[0] <= now)
+                deferred = [item for item in deferred if item[0] > now]
+                for _ready_at, i in ready:
+                    try:
+                        submit_one(i)
+                    except BrokenExecutor as error:
+                        casualties = [i] + list(futures.values())
+                        futures.clear()
+                        handle_broken(error, casualties)
+                    except Exception as error:
+                        settle(i, _synthetic_failure(configs[i], error))
+                if not futures:
+                    if deferred:  # everything is waiting out a backoff
+                        next_at = min(item[0] for item in deferred)
+                        self._sleep(max(0.0, min(next_at - self._clock(), 0.2)))
+                    continue
+                timeout = 0.2 if (hb_queue is not None or deferred) else None
+                finished, _ = wait(
+                    set(futures), timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                if hb_queue is not None:
+                    # A worker's heartbeats are all enqueued (the
+                    # manager put is synchronous) before its future
+                    # resolves, so draining here keeps each run's
+                    # heartbeats ahead of its finished event.
+                    self._drain_heartbeats(hb_queue)
+                broken: Optional[Tuple[BaseException, int]] = None
+                for fut in finished:
+                    i = futures.pop(fut)
+                    try:
+                        result = ExperimentResult.from_dict(fut.result())
+                    except BrokenExecutor as error:
+                        broken = (error, i)
+                        break
+                    except Exception as error:
+                        result = _synthetic_failure(configs[i], error)
+                    settle(i, result)
+                if broken is not None:
+                    error, first = broken
+                    casualties = [first] + list(futures.values())
+                    futures.clear()
+                    handle_broken(error, casualties)
+            pool.shutdown(wait=True)
+            if hb_queue is not None:
+                self._drain_heartbeats(hb_queue)
+        except BaseException:
+            # Graceful shutdown (or an unexpected error): stop feeding
+            # the pool, cancel what never started, put workers down,
+            # and drain the heartbeat queue so every relayed beat lands
+            # in the journal before the campaign_abort record.
+            for fut in futures:
+                fut.cancel()
+            procs = list((getattr(pool, "_processes", None) or {}).values())
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+            for proc in procs:
+                try:
+                    proc.terminate()
+                except Exception:
+                    pass
+            if hb_queue is not None:
+                self._drain_heartbeats(hb_queue)
+            raise
         finally:
             if manager is not None:
                 manager.shutdown()

@@ -279,6 +279,10 @@ def _campaign_timeline(records: Sequence[dict]) -> List[dict]:
             row["state"] = "failed"
             row["ended_ms"] = record.get("wall_ms")
             row["error"] = f"{record.get('error_type')}: {record.get('error_message')}"
+        elif event == "quarantined":
+            row["state"] = "quarantined"
+        if record.get("replayed"):
+            row["replayed"] = True
     ordered = sorted(
         rows.values(), key=lambda r: (r["index"] is None, r["index"], r["run"])
     )
@@ -314,6 +318,23 @@ def render_campaign(records: Sequence[dict]) -> str:
         )
     heartbeat_total = summary["event_counts"].get("heartbeat", 0)
     lines.append(f"heartbeats observed: {heartbeat_total}")
+    # Resume/abort records are meta (excluded from the deterministic
+    # summary) but headline news for a human reader.
+    for record in records:
+        if record.get("event") == "campaign_resume":
+            lines.append(
+                f"**resumed**: {record.get('replayed', 0)} runs replayed from the "
+                f"prior journal, {record.get('remaining', 0)} executed fresh"
+            )
+        elif record.get("event") == "campaign_abort":
+            lines.append(
+                f"**aborted** ({record.get('reason', '?')}) at "
+                f"{record.get('done', 0)}/{record.get('total', 0)} runs — "
+                f"resumable via --resume"
+            )
+    replayed_rows = sum(1 for row in timeline if row.get("replayed"))
+    if replayed_rows:
+        lines.append(f"replayed run records: {replayed_rows}")
     lines.append("")
 
     merged = merge_campaign_sketches(records)
@@ -360,7 +381,10 @@ def render_campaign(records: Sequence[dict]) -> str:
             )
         lines.append("")
 
-    troubled = [r for r in timeline if r["retries"] or r["state"] == "failed"]
+    troubled = [
+        r for r in timeline
+        if r["retries"] or r["state"] in ("failed", "quarantined")
+    ]
     lines.append("## Failures & retries")
     lines.append("")
     if troubled:
@@ -385,6 +409,9 @@ th { background: #eef2f6; }
 td:first-child, th:first-child, td.l, th.l { text-align: left; }
 .state-finished { color: #19722e; } .state-cached { color: #555; }
 .state-failed { color: #a31515; font-weight: bold; }
+.state-quarantined { color: #8a4b00; font-weight: bold; }
+.banner-abort { color: #a31515; font-weight: bold; }
+.banner-resume { color: #19722e; }
 .bar { background: #4a90d9; height: 10px; display: inline-block; }
 """
 
@@ -411,6 +438,19 @@ def render_campaign_html(records: Sequence[dict], title: str = "Campaign report"
         f"<p><b>{summary['total']} runs</b>, "
         f"{summary['event_counts'].get('heartbeat', 0)} heartbeats observed.</p>",
     ]
+    for record in records:
+        if record.get("event") == "campaign_resume":
+            parts.append(
+                f"<p class='banner-resume'>resumed: {record.get('replayed', 0)} runs "
+                f"replayed from the prior journal, {record.get('remaining', 0)} "
+                f"executed fresh</p>"
+            )
+        elif record.get("event") == "campaign_abort":
+            parts.append(
+                f"<p class='banner-abort'>aborted ({esc(str(record.get('reason', '?')))}) "
+                f"at {record.get('done', 0)}/{record.get('total', 0)} runs — "
+                f"resumable via --resume</p>"
+            )
     if summary["stats"]:
         stats = summary["stats"]
         parts.append(
@@ -477,7 +517,10 @@ def render_campaign_html(records: Sequence[dict], title: str = "Campaign report"
                 f"<td>{_fmt(duration)}</td><td class='l'>{bar}</td></tr>"
             )
         parts.append("</table>")
-    troubled = [r for r in timeline if r["retries"] or r["state"] == "failed"]
+    troubled = [
+        r for r in timeline
+        if r["retries"] or r["state"] in ("failed", "quarantined")
+    ]
     parts.append("<h2>Failures &amp; retries</h2>")
     if troubled:
         parts.append(

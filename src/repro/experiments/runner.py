@@ -54,6 +54,10 @@ class RunFailure:
     seed: int
     fault_plan_path: Optional[str]
     bundle_path: Optional[str]
+    # True for failures *outside* the simulation (broken worker pool,
+    # transport error, abort): retrying elsewhere may succeed, so the
+    # executor resubmits them on resume instead of quarantining.
+    infrastructure: bool = False
 
     def render(self) -> str:
         lines = [
@@ -73,6 +77,7 @@ class RunFailure:
             "seed": self.seed,
             "fault_plan_path": self.fault_plan_path,
             "bundle_path": self.bundle_path,
+            "infrastructure": self.infrastructure,
         }
 
     @classmethod

@@ -12,16 +12,30 @@ from repro.faults.audit import (
     run_with_watchdog,
     write_repro_bundle,
 )
+from repro.faults.executor_chaos import (
+    EXECUTOR_FAULT_CATALOG,
+    ExecutorChaos,
+    ExecutorFaultPlan,
+    ExecutorFaultSpec,
+    load_executor_fault_plan,
+    truncate_journal_tail,
+)
 from repro.faults.injectors import FaultInjector
 from repro.faults.plan import FAULT_CATALOG, FaultPlan, FaultPlanError, FaultSpec
 
 __all__ = [
     "AUDIT_MODES",
+    "EXECUTOR_FAULT_CATALOG",
+    "ExecutorChaos",
+    "ExecutorFaultPlan",
+    "ExecutorFaultSpec",
     "FAULT_CATALOG",
     "FaultInjector",
     "FaultPlan",
     "FaultPlanError",
     "FaultSpec",
+    "load_executor_fault_plan",
+    "truncate_journal_tail",
     "InvariantAuditor",
     "InvariantViolation",
     "WatchdogExceeded",

@@ -13,9 +13,11 @@ this module is the transport and the vocabulary:
   tests.
 * The **event schema** (:data:`EVENT_SCHEMA`): ``campaign_start``,
   ``queued``, ``started``, ``heartbeat``, ``cache_hit``, ``retry``,
-  ``finished``, ``failed``, ``campaign_end``. :func:`validate_record` /
-  :func:`validate_records` check field presence, types, and seq
-  monotonicity — CI validates every record of a smoke campaign.
+  ``finished``, ``failed``, ``quarantined``, ``campaign_end``, plus the
+  crash-safety meta events ``campaign_resume`` and ``campaign_abort``
+  (schema v2). :func:`validate_record` / :func:`validate_records` check
+  field presence, types, and seq monotonicity — CI validates every
+  record of a smoke campaign.
 * :func:`campaign_summary` — a deterministic digest: wall-clock-derived
   fields (:data:`WALL_FIELDS`) are stripped and runs are keyed by
   label, so two identical seeded campaigns produce **byte-identical**
@@ -42,18 +44,22 @@ __all__ = [
     "CAMPAIGN_SCHEMA_VERSION",
     "EVENT_SCHEMA",
     "EVENT_TYPES",
+    "META_EVENTS",
     "TERMINAL_EVENTS",
     "WALL_FIELDS",
     "CampaignLog",
     "LiveCampaignView",
     "campaign_summary",
     "read_campaign",
+    "read_campaign_with_tail",
     "validate_record",
     "validate_records",
 ]
 
 #: Bumped when record shapes change; stamped on ``campaign_start``.
-CAMPAIGN_SCHEMA_VERSION = 1
+#: v2: ``campaign_abort`` (graceful shutdown), ``campaign_resume``
+#: (checkpoint replay), and ``quarantined`` (poison-run marking).
+CAMPAIGN_SCHEMA_VERSION = 2
 
 _NUM = (int, float)
 
@@ -75,13 +81,29 @@ EVENT_SCHEMA: Dict[str, Dict[str, tuple]] = {
     "retry": {"run": (str,), "attempt": (int,)},
     "finished": {"run": (str,), "outcome": (str,)},
     "failed": {"run": (str,), "error_type": (str,), "error_message": (str,)},
+    "quarantined": {"run": (str,), "attempts": (int,)},
     "campaign_end": {"stats": (dict,)},
+    "campaign_resume": {
+        "schema": (int,),
+        "total": (int,),
+        "replayed": (int,),
+        "remaining": (int,),
+        "jobs": (int,),
+    },
+    "campaign_abort": {"reason": (str,), "done": (int,), "total": (int,)},
 }
 
 EVENT_TYPES = tuple(EVENT_SCHEMA)
 
 #: Events that end a run's lifecycle.
 TERMINAL_EVENTS = ("cache_hit", "finished", "failed")
+
+#: Crash-safety bookkeeping events that describe *how this particular
+#: journal came to be* rather than what the campaign computed. They are
+#: excluded from :func:`campaign_summary` so an uninterrupted journal
+#: and a kill-then-resume journal of the same seeded campaign digest
+#: byte-identically.
+META_EVENTS = ("campaign_resume", "campaign_abort")
 
 #: Wall-clock-derived fields, stripped (recursively) by
 #: :func:`campaign_summary` so summaries of identical seeded campaigns
@@ -132,14 +154,44 @@ def validate_records(records: Sequence[dict]) -> List[str]:
     return errors
 
 
-def read_campaign(path) -> List[dict]:
-    """Parse a campaign JSONL file into record dicts."""
+def read_campaign_with_tail(path) -> tuple:
+    """Parse a campaign JSONL file, tolerating a truncated final line.
+
+    A process killed mid-``write`` leaves exactly one artifact: a
+    partial last line. Returns ``(records, partial_tail)`` where
+    ``partial_tail`` is the unparseable trailing fragment (``None`` for
+    a clean file). Corruption anywhere *before* the final non-empty
+    line is not a crash artifact and still raises ``ValueError``.
+    """
     records: List[dict] = []
+    lines: List[tuple] = []
     with open(path) as handle:
-        for line in handle:
+        for number, line in enumerate(handle, start=1):
             line = line.strip()
             if line:
-                records.append(json.loads(line))
+                lines.append((number, line))
+    for position, (number, line) in enumerate(lines):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as error:
+            if position == len(lines) - 1:
+                return records, line
+            raise ValueError(
+                f"{path}: corrupt record on line {number} "
+                f"(not a truncated tail): {error}"
+            ) from error
+    return records, None
+
+
+def read_campaign(path, strict: bool = False) -> List[dict]:
+    """Parse a campaign JSONL file into record dicts.
+
+    By default a truncated final line (the artifact of a mid-write
+    crash) is dropped; pass ``strict=True`` to raise on it instead.
+    """
+    records, tail = read_campaign_with_tail(path)
+    if tail is not None and strict:
+        raise ValueError(f"{path}: truncated final record: {tail[:80]!r}")
     return records
 
 
@@ -223,6 +275,11 @@ def campaign_summary(records: Sequence[dict]) -> dict:
     total = 0
     for record in records:
         event = record.get("event")
+        if event in META_EVENTS:
+            # How this journal came to be (resume/abort), not what the
+            # campaign computed — excluded so kill-then-resume digests
+            # match the uninterrupted run byte-for-byte.
+            continue
         counts[event] = counts.get(event, 0) + 1
         if event == "campaign_start":
             # One log may carry several batches; totals accumulate.
@@ -285,6 +342,8 @@ def campaign_summary(records: Sequence[dict]) -> dict:
         elif event == "failed":
             run["state"] = "failed"
             run["error_type"] = record.get("error_type")
+        elif event == "quarantined":
+            run["state"] = "quarantined"
     return {
         "schema": CAMPAIGN_SCHEMA_VERSION,
         "total": total,
@@ -365,7 +424,11 @@ class LiveCampaignView:
             self._last_done_wall = now
         elif event == "retry":
             self.retries += 1
-        self.paint(final=event == "campaign_end")
+        elif event == "campaign_abort":
+            self._running.clear()
+        # quarantined follows a terminal `failed` for the same run, so
+        # it never bumps `done`; abort paints final like a clean end.
+        self.paint(final=event in ("campaign_end", "campaign_abort"))
 
     # ------------------------------------------------------------------
     def eta_s(self) -> Optional[float]:

@@ -74,6 +74,11 @@ TRACEPOINT_CATALOG: Dict[str, Tuple[Tuple[str, ...], str]] = {
         ("kind", "target", "detail"),
         "one injected fault effect (repro.faults: drop, flap, stall, skew, ...)",
     ),
+    "executor:cache_write_error": (
+        ("key", "error"),
+        "result-cache write failed (e.g. ENOSPC); the batch continues uncached "
+        "(process-level probe: repro.experiments.executor.CACHE_WRITE_ERROR_TP)",
+    ),
     "audit:violation": (
         ("check", "subject", "detail"),
         "runtime invariant auditor found corrupted state (repro.faults.audit)",

@@ -182,9 +182,13 @@ class TestExecutorCampaign:
         assert [r["attempt"] for r in starts] == [1, 2, 3]
         failed = events_of(campaign.records, "failed")[0]
         assert failed["error_type"] == "Boom"
+        # A run whose *simulation* failed every attempt is poison: it is
+        # quarantined so a resumed campaign never resubmits it.
+        quarantined = events_of(campaign.records, "quarantined")[0]
+        assert quarantined["attempts"] == 3
         summary = campaign_summary(campaign.records)
         run = summary["runs"]["cubic/seed1"]
-        assert run["state"] == "failed"
+        assert run["state"] == "quarantined"
         assert run["retries"] == 2
         assert run["attempts"] == 3
 

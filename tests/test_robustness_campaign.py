@@ -1,0 +1,630 @@
+"""Crash-safe campaign layer: checkpoint/resume, backoff, chaos.
+
+The contract under test (ISSUE: crash-safe campaigns): a campaign that
+dies mid-flight — SIGKILL included — resumes from its journal +
+checkpoint sidecar with **zero re-execution of completed runs** and a
+``campaign_summary`` byte-identical to an uninterrupted run; executor
+faults (dead workers, broken pools, full disks, torn journals) degrade
+the batch, never corrupt it.
+"""
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.experiments.executor as executor_mod
+from repro.experiments.backoff import BackoffPolicy
+from repro.experiments.checkpoint import (
+    TERMINAL_STATES,
+    CampaignCheckpoint,
+    RunCheckpoint,
+    checkpoint_path,
+    load_resume_plan,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.executor import (
+    CACHE_WRITE_ERROR_TP,
+    CampaignAborted,
+    ExperimentExecutor,
+    ResultCache,
+)
+from repro.experiments.runner import ExperimentResult, RunFailure
+from repro.faults.executor_chaos import (
+    ExecutorChaos,
+    ExecutorFaultPlan,
+    ExecutorFaultSpec,
+    truncate_journal_tail,
+)
+from repro.obs.campaign import (
+    CampaignLog,
+    campaign_summary,
+    read_campaign,
+    read_campaign_with_tail,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def small_config(seed: int = 1, variant: str = "cubic") -> ExperimentConfig:
+    return ExperimentConfig(
+        variant=variant, weeks=4, warmup_weeks=1, n_flows=2, seed=seed
+    )
+
+
+def failing_payload(payload: dict) -> dict:
+    config = ExperimentConfig.from_dict(payload)
+    result = ExperimentResult(config=config, duration_ns=config.duration_ns)
+    result.failure = RunFailure("Boom", "synthetic crash", config.seed, None, None)
+    return result.to_dict()
+
+
+def no_backoff() -> BackoffPolicy:
+    return BackoffPolicy(base_s=0.0, cap_s=0.0)
+
+
+def summary_bytes(path) -> str:
+    return json.dumps(campaign_summary(read_campaign(path)), sort_keys=True)
+
+
+def spy_executions(monkeypatch):
+    """Monkeypatch the (inline-path) worker entry point to record which
+    seeds actually execute; returns a thunk yielding the seed list.
+    Note: replayed runs contribute their *original* executed/cache
+    counters to BatchStats — that is what makes the resumed summary
+    byte-identical — so "zero re-execution" must be asserted on real
+    worker calls, not on ``stats.executed``."""
+    seeds = []
+    original = executor_mod.execute_config_dict
+
+    def spy(payload):
+        seeds.append(payload["seed"])
+        return original(payload)
+
+    monkeypatch.setattr(executor_mod, "execute_config_dict", spy)
+    return lambda: seeds
+
+
+# ----------------------------------------------------------------------
+# Checkpoint serialization (property-based)
+# ----------------------------------------------------------------------
+run_checkpoints = st.builds(
+    RunCheckpoint,
+    label=st.text(min_size=1, max_size=30),
+    index=st.integers(min_value=0, max_value=10_000),
+    state=st.sampled_from(TERMINAL_STATES),
+    attempts=st.integers(min_value=0, max_value=9),
+    retries=st.integers(min_value=0, max_value=9),
+    cache_key=st.none() | st.text(alphabet="0123456789abcdef", min_size=8, max_size=64),
+    cache_hit=st.booleans(),
+    cache_miss=st.booleans(),
+    executed=st.booleans(),
+    outcome=st.none() | st.just("ok"),
+    error_type=st.none() | st.sampled_from(["Boom", "OSError", "WatchdogExceeded"]),
+    error_message=st.none() | st.text(max_size=80),
+)
+
+
+class TestCheckpointRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(run=run_checkpoints)
+    def test_run_checkpoint_json_round_trip(self, run):
+        decoded = RunCheckpoint.from_dict(json.loads(json.dumps(run.to_dict())))
+        assert decoded == run
+
+    @settings(max_examples=50, deadline=None)
+    @given(runs=st.lists(run_checkpoints, max_size=8), total=st.integers(0, 1000))
+    def test_campaign_checkpoint_json_round_trip(self, runs, total):
+        checkpoint = CampaignCheckpoint(total=total)
+        for run in runs:
+            checkpoint.record(run)
+        decoded = CampaignCheckpoint.from_dict(
+            json.loads(json.dumps(checkpoint.to_dict()))
+        )
+        assert decoded == checkpoint
+
+    def test_save_load_sidecar(self, tmp_path):
+        checkpoint = CampaignCheckpoint(total=2)
+        checkpoint.record(RunCheckpoint(label="a", index=0, state="finished"))
+        path = tmp_path / "log.jsonl.ckpt.json"
+        checkpoint.save(path)
+        assert CampaignCheckpoint.load(path) == checkpoint
+
+    def test_load_tolerates_garbage(self, tmp_path):
+        path = tmp_path / "bad.ckpt.json"
+        path.write_text("{not json")
+        assert CampaignCheckpoint.load(path) is None
+        assert CampaignCheckpoint.load(tmp_path / "missing.ckpt.json") is None
+
+    def test_rejects_unknown_state(self):
+        with pytest.raises(ValueError):
+            RunCheckpoint(label="a", index=0, state="running")
+
+
+# ----------------------------------------------------------------------
+# Backoff policy
+# ----------------------------------------------------------------------
+class TestBackoffPolicy:
+    def test_same_seed_same_schedule(self):
+        a = BackoffPolicy(seed=7).schedule("fig2/cubic", 6)
+        b = BackoffPolicy(seed=7).schedule("fig2/cubic", 6)
+        assert a == b
+
+    def test_different_seed_or_label_differ(self):
+        base = BackoffPolicy(seed=7).schedule("fig2/cubic", 4)
+        assert BackoffPolicy(seed=8).schedule("fig2/cubic", 4) != base
+        assert BackoffPolicy(seed=7).schedule("fig2/mptcp", 4) != base
+
+    def test_full_jitter_bounds_and_cap(self):
+        policy = BackoffPolicy(base_s=0.1, cap_s=0.5, multiplier=2.0, seed=3)
+        for attempt in range(1, 12):
+            envelope = policy.envelope_s(attempt)
+            assert envelope <= 0.5
+            delay = policy.delay_s("run", attempt)
+            assert 0.0 <= delay <= envelope
+
+    def test_envelope_growth(self):
+        policy = BackoffPolicy(base_s=0.1, cap_s=10.0, multiplier=2.0)
+        assert policy.envelope_s(1) == pytest.approx(0.1)
+        assert policy.envelope_s(3) == pytest.approx(0.4)
+
+    def test_independent_of_other_runs(self):
+        # A draw for (label, attempt) never shifts because other runs
+        # also drew — forked substreams, not a shared cursor.
+        policy = BackoffPolicy(seed=5)
+        before = policy.delay_s("victim", 2)
+        policy.schedule("noisy-neighbor", 9)
+        assert policy.delay_s("victim", 2) == before
+
+    def test_zero_base_disables_sleeping(self):
+        assert no_backoff().schedule("x", 5) == [0.0] * 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_s=-1)
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_s=2.0, cap_s=1.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy().envelope_s(0)
+
+    def test_executor_sleeps_through_injected_clock(self, monkeypatch):
+        monkeypatch.setattr(executor_mod, "execute_config_dict", failing_payload)
+        slept = []
+        executor = ExperimentExecutor(
+            retries=2,
+            backoff=BackoffPolicy(base_s=0.05, cap_s=0.2, seed=1),
+            sleep=slept.append,
+        )
+        executor.run_batch([small_config()])
+        expected = BackoffPolicy(base_s=0.05, cap_s=0.2, seed=1).schedule(
+            "cubic/seed1", 2
+        )
+        assert slept == [d for d in expected if d > 0]
+
+
+# ----------------------------------------------------------------------
+# Journal tail tolerance
+# ----------------------------------------------------------------------
+class TestTruncatedJournal:
+    def _journal(self, tmp_path):
+        path = tmp_path / "camp.jsonl"
+        with CampaignLog(str(path)) as log:
+            executor = ExperimentExecutor(
+                campaign=log, checkpoint_to=checkpoint_path(str(path))
+            )
+            executor.run_batch([small_config()])
+        return path
+
+    def test_tolerant_reader_reports_tail(self, tmp_path):
+        path = self._journal(tmp_path)
+        whole, tail = read_campaign_with_tail(path)
+        assert tail is None
+        assert truncate_journal_tail(path)
+        records, tail = read_campaign_with_tail(path)
+        assert tail is not None
+        assert len(records) == len(whole) - 1
+        assert read_campaign(path) == records  # default: tolerant
+        with pytest.raises(ValueError):
+            read_campaign(path, strict=True)
+
+    def test_corrupt_middle_line_still_raises(self, tmp_path):
+        path = self._journal(tmp_path)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][: len(lines[1]) // 2]  # torn, but not the tail
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="corrupt record"):
+            read_campaign(path)
+
+    def test_resume_plan_from_torn_journal_without_sidecar(self, tmp_path):
+        path = self._journal(tmp_path)
+        os.unlink(checkpoint_path(str(path)))
+        truncate_journal_tail(path)  # tears the campaign_end record
+        plan = load_resume_plan(str(path))
+        assert plan.checkpoint_source == "journal"
+        assert plan.partial_tail is not None
+        assert plan.checkpoint.runs["cubic/seed1"].state == "finished"
+
+    def test_sidecar_preferred_over_journal(self, tmp_path):
+        path = self._journal(tmp_path)
+        plan = load_resume_plan(str(path))
+        assert plan.checkpoint_source == "sidecar"
+        assert plan.checkpoint.total == 1
+
+
+# ----------------------------------------------------------------------
+# Cache write failures (ENOSPC et al.)
+# ----------------------------------------------------------------------
+class TestCacheWriteErrors:
+    def test_put_failure_returns_none(self, tmp_path):
+        blocker = tmp_path / "cache"
+        blocker.write_text("a file where the cache dir should be")
+        cache = ResultCache(blocker)
+        result = ExperimentExecutor()._run_once(small_config())
+        assert result.ok
+        assert cache.put("ab" * 32, result) is None
+        assert cache.write_errors == 1
+        assert cache.last_write_error
+
+    def test_enospc_does_not_crash_batch(self, tmp_path):
+        plan = ExecutorFaultPlan(
+            specs=(ExecutorFaultSpec(kind="cache_write_error", count=0),)
+        )
+        emitted = []
+        CACHE_WRITE_ERROR_TP.subscribe(lambda t, name, fields: emitted.append(fields))
+        try:
+            executor = ExperimentExecutor(
+                cache_dir=str(tmp_path / "cache"), chaos=ExecutorChaos(plan)
+            )
+            results = executor.run_batch([small_config(seed=31)])
+        finally:
+            CACHE_WRITE_ERROR_TP._subscribers.clear()
+            CACHE_WRITE_ERROR_TP.enabled = False
+        assert results[0].ok
+        metric = executor.metrics.get("executor_cache_write_errors_total")
+        assert metric is not None and metric.total() == 1
+        assert emitted and "No space left" in emitted[0]["error"]
+        # nothing was cached: a re-run executes again
+        rerun = ExperimentExecutor(cache_dir=str(tmp_path / "cache"))
+        rerun.run_batch([small_config(seed=31)])
+        assert rerun.last_batch.cache_hits == 0
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        plan = ExecutorFaultPlan(
+            specs=(ExecutorFaultSpec(kind="cache_corrupt", count=0),)
+        )
+        first = ExperimentExecutor(
+            cache_dir=str(tmp_path / "cache"), chaos=ExecutorChaos(plan)
+        )
+        first.run_batch([small_config(seed=32)])
+        warm = ExperimentExecutor(cache_dir=str(tmp_path / "cache"))
+        results = warm.run_batch([small_config(seed=32)])
+        assert results[0].ok
+        assert warm.last_batch.cache_hits == 0
+        assert warm.last_batch.executed == 1
+
+
+# ----------------------------------------------------------------------
+# Quarantine vs infrastructure failures
+# ----------------------------------------------------------------------
+class TestQuarantine:
+    def test_sim_failure_quarantined_and_not_resubmitted(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(executor_mod, "execute_config_dict", failing_payload)
+        path = tmp_path / "camp.jsonl"
+        with CampaignLog(str(path)) as log:
+            executor = ExperimentExecutor(
+                campaign=log, retries=1, backoff=no_backoff(),
+                checkpoint_to=checkpoint_path(str(path)),
+            )
+            executor.run_batch([small_config()])
+        assert executor.last_batch.quarantined == 1
+        records = read_campaign(path)
+        assert [r["event"] for r in records if r.get("run")][-1] == "quarantined"
+        plan = load_resume_plan(str(path))
+        assert plan.checkpoint.runs["cubic/seed1"].state == "quarantined"
+
+        # Resume never re-executes a quarantined run: the recorded
+        # failure is handed back without calling the worker at all.
+        calls = []
+        monkeypatch.setattr(
+            executor_mod, "execute_config_dict",
+            lambda payload: calls.append(payload) or failing_payload(payload),
+        )
+        resumed = ExperimentExecutor(resume=plan, backoff=no_backoff())
+        results = resumed.run_batch([small_config()])
+        assert calls == []
+        assert resumed.last_replayed == 1
+        assert not results[0].ok
+        assert results[0].failure.error_type == "Boom"
+
+    def test_infrastructure_failure_not_quarantined(self, monkeypatch):
+        def transport_crash(payload):
+            raise OSError("worker transport down")
+
+        monkeypatch.setattr(executor_mod, "execute_config_dict", transport_crash)
+        executor = ExperimentExecutor(retries=0, backoff=no_backoff())
+        results = executor.run_batch([small_config()])
+        assert not results[0].ok
+        assert results[0].failure.infrastructure
+        assert executor.last_batch.quarantined == 0
+        assert executor.last_batch.failures == 1
+
+
+# ----------------------------------------------------------------------
+# Graceful shutdown
+# ----------------------------------------------------------------------
+class TestGracefulShutdown:
+    def test_keyboard_interrupt_aborts_with_record(self, tmp_path, monkeypatch):
+        seen = {"n": 0}
+
+        def interrupt_second(payload):
+            seen["n"] += 1
+            if seen["n"] >= 2:
+                raise KeyboardInterrupt()
+            return executor_mod.run_experiment(
+                ExperimentConfig.from_dict(payload)
+            ).to_dict()
+
+        monkeypatch.setattr(executor_mod, "execute_config_dict", interrupt_second)
+        path = tmp_path / "camp.jsonl"
+        with pytest.raises(CampaignAborted) as abort:
+            with CampaignLog(str(path)) as log:
+                executor = ExperimentExecutor(
+                    campaign=log,
+                    cache_dir=str(tmp_path / "cache"),
+                    checkpoint_to=checkpoint_path(str(path)),
+                    heartbeat_events=2_000,
+                )
+                executor.run_batch([small_config(seed=41), small_config(seed=42)])
+        assert abort.value.done == 1
+        assert abort.value.total == 2
+        records = read_campaign(path)
+        assert records[-1]["event"] == "campaign_abort"
+        assert records[-1]["done"] == 1
+        # Ordering pinned: every heartbeat precedes its run's terminal
+        # record, and everything precedes the abort record.
+        abort_seq = records[-1]["seq"]
+        finished = {r["run"]: r["seq"] for r in records if r["event"] == "finished"}
+        for r in records:
+            assert r["seq"] <= abort_seq
+            if r["event"] == "heartbeat" and r["run"] in finished:
+                assert r["seq"] < finished[r["run"]]
+        # The completed run checkpointed; resume replays it and only
+        # executes the interrupted one.
+        plan = load_resume_plan(str(path))
+        assert list(plan.checkpoint.runs) == ["cubic/seed41"]
+        monkeypatch.undo()
+        executed = spy_executions(monkeypatch)
+        resumed = ExperimentExecutor(
+            cache_dir=str(tmp_path / "cache"), resume=plan
+        )
+        results = resumed.run_batch([small_config(seed=41), small_config(seed=42)])
+        assert resumed.last_replayed == 1
+        assert executed() == [42]  # only the interrupted run re-executes
+        assert all(r.ok for r in results)
+
+
+# ----------------------------------------------------------------------
+# Resume identity (in-process)
+# ----------------------------------------------------------------------
+class TestResumeIdentity:
+    def test_partial_then_resume_matches_uninterrupted(self, tmp_path, monkeypatch):
+        configs = [small_config(seed=s) for s in (1, 2, 3)]
+        ref = tmp_path / "ref.jsonl"
+        with CampaignLog(str(ref)) as log:
+            ExperimentExecutor(
+                cache_dir=str(tmp_path / "cache_ref"), campaign=log
+            ).run_batch(configs)
+
+        part = tmp_path / "part.jsonl"
+        with CampaignLog(str(part)) as log:
+            ExperimentExecutor(
+                cache_dir=str(tmp_path / "cache"), campaign=log,
+                checkpoint_to=checkpoint_path(str(part)),
+            ).run_batch(configs[:2])
+
+        executed = spy_executions(monkeypatch)
+        res = tmp_path / "res.jsonl"
+        with CampaignLog(str(res)) as log:
+            resumed = ExperimentExecutor(
+                cache_dir=str(tmp_path / "cache"), campaign=log,
+                resume=load_resume_plan(str(part)),
+            )
+            resumed.run_batch(configs)
+        assert resumed.last_replayed == 2
+        assert executed() == [3]  # completed runs never re-execute
+        assert summary_bytes(res) == summary_bytes(ref)
+
+    def test_replayed_records_flagged_but_summary_identical(self, tmp_path):
+        config = small_config(seed=9)
+        part = tmp_path / "one.jsonl"
+        with CampaignLog(str(part)) as log:
+            ExperimentExecutor(
+                cache_dir=str(tmp_path / "cache"), campaign=log,
+                checkpoint_to=checkpoint_path(str(part)),
+            ).run_batch([config])
+        res = tmp_path / "one.resumed.jsonl"
+        with CampaignLog(str(res)) as log:
+            ExperimentExecutor(
+                cache_dir=str(tmp_path / "cache"), campaign=log,
+                resume=load_resume_plan(str(part)),
+            ).run_batch([config])
+        records = read_campaign(res)
+        replayed = [r for r in records if r.get("replayed")]
+        assert replayed  # lifecycle re-emitted, marked
+        assert any(r["event"] == "campaign_resume" for r in records)
+        assert summary_bytes(res) == summary_bytes(part)
+
+
+# ----------------------------------------------------------------------
+# Chaos harness (in-process pool faults)
+# ----------------------------------------------------------------------
+class TestExecutorChaos:
+    def test_worker_kill_rebuilds_pool_and_completes(self, tmp_path):
+        configs = [small_config(seed=s) for s in (1, 2)]
+        plan = ExecutorFaultPlan(
+            specs=(ExecutorFaultSpec(kind="worker_kill", target="cubic/seed1"),)
+        )
+        chaos = ExecutorChaos(plan)
+        path = tmp_path / "chaos.jsonl"
+        with CampaignLog(str(path)) as log:
+            executor = ExperimentExecutor(
+                jobs=2, campaign=log, chaos=chaos, retries=2,
+                backoff=no_backoff(),
+            )
+            results = executor.run_batch(configs)
+        assert all(r.ok for r in results)
+        assert executor.last_batch.broken_pools >= 1
+        assert chaos.log[0][0] == "worker_kill"
+        records = read_campaign(path)
+        for label in ("cubic/seed1", "cubic/seed2"):
+            terminal = [
+                r for r in records
+                if r.get("run") == label and r["event"] in ("finished", "failed")
+            ]
+            assert len(terminal) == 1, (label, terminal)
+
+    def test_broken_pool_budget_exhausted_fails_cleanly(self, tmp_path):
+        plan = ExecutorFaultPlan(
+            specs=(ExecutorFaultSpec(kind="broken_pool", attempt=0, count=0),)
+        )
+        executor = ExperimentExecutor(
+            jobs=2, chaos=ExecutorChaos(plan), retries=1,
+            backoff=no_backoff(), pool_rebuilds=1,
+        )
+        results = executor.run_batch([small_config(seed=s) for s in (1, 2)])
+        assert all(not r.ok for r in results)
+        assert all(r.failure.infrastructure for r in results)
+        # infrastructure casualties are failed, never quarantined
+        assert executor.last_batch.quarantined == 0
+
+    def test_plan_round_trips_through_json(self, tmp_path):
+        plan = ExecutorFaultPlan(
+            name="gauntlet", seed=3,
+            specs=(
+                ExecutorFaultSpec(kind="worker_kill", target="a/*",
+                                  params={"after_events": 500}),
+                ExecutorFaultSpec(kind="cache_write_error", count=0,
+                                  probability=0.5),
+            ),
+        )
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        from repro.faults.executor_chaos import load_executor_fault_plan
+
+        assert load_executor_fault_plan(path) == plan
+
+
+# ----------------------------------------------------------------------
+# SIGKILL integration: a pooled campaign killed -9 mid-flight resumes
+# to a byte-identical summary
+# ----------------------------------------------------------------------
+CHILD_SCRIPT = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.experiments.checkpoint import checkpoint_path
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.executor import ExperimentExecutor
+from repro.faults.executor_chaos import ExecutorChaos, ExecutorFaultPlan, ExecutorFaultSpec
+from repro.obs.campaign import CampaignLog
+
+
+def main():
+    configs = [
+        ExperimentConfig(variant="cubic", weeks=4, warmup_weeks=1, n_flows=2, seed=s)
+        for s in (1, 2, 3)
+    ]
+    # The third run stalls 120s in its worker: the campaign is
+    # guaranteed mid-flight (2 finished, 1 running) at the SIGKILL.
+    plan = ExecutorFaultPlan(
+        specs=(ExecutorFaultSpec(kind="slow_worker", target="cubic/seed3",
+                                 params={{"stall_s": 120.0}}),)
+    )
+    with CampaignLog({log!r}) as log:
+        executor = ExperimentExecutor(
+            jobs=2, cache_dir={cache!r}, campaign=log,
+            checkpoint_to=checkpoint_path({log!r}),
+            heartbeat_events=2000, chaos=ExecutorChaos(plan),
+        )
+        executor.run_batch(configs)
+
+
+if __name__ == "__main__":  # spawn-safe: workers re-import this module
+    main()
+"""
+
+
+class TestSigkillResume:
+    def test_kill9_mid_campaign_resume_is_byte_identical(self, tmp_path):
+        configs = [small_config(seed=s) for s in (1, 2, 3)]
+        log_path = tmp_path / "killed.jsonl"
+        script = tmp_path / "child.py"
+        script.write_text(
+            CHILD_SCRIPT.format(
+                src=str(REPO_ROOT / "src"),
+                log=str(log_path),
+                cache=str(tmp_path / "cache"),
+            )
+        )
+        child = subprocess.Popen(
+            [sys.executable, str(script)],
+            cwd=str(tmp_path),
+            start_new_session=True,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 90.0
+            while time.monotonic() < deadline:
+                try:
+                    text = log_path.read_text()
+                except OSError:
+                    text = ""
+                if text.count('"finished"') >= 2:
+                    break
+                if child.poll() is not None:
+                    pytest.fail("campaign child exited before the kill")
+                time.sleep(0.05)
+            else:
+                pytest.fail("campaign child never finished its first two runs")
+            os.killpg(child.pid, signal.SIGKILL)
+            child.wait(timeout=30)
+        finally:
+            try:
+                os.killpg(child.pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                pass
+
+        plan = load_resume_plan(str(log_path))
+        done = {
+            label for label, run in plan.checkpoint.runs.items()
+            if run.state == "finished"
+        }
+        assert done == {"cubic/seed1", "cubic/seed2"}
+
+        resumed_path = tmp_path / "resumed.jsonl"
+        with CampaignLog(str(resumed_path)) as log:
+            resumed = ExperimentExecutor(
+                jobs=2, cache_dir=str(tmp_path / "cache"), campaign=log,
+                checkpoint_to=checkpoint_path(str(resumed_path)),
+                heartbeat_events=2000, resume=plan,
+            )
+            results = resumed.run_batch(configs)
+        assert all(r.ok for r in results)
+        assert resumed.last_replayed == 2  # zero re-execution of done sims
+
+        ref_path = tmp_path / "ref.jsonl"
+        with CampaignLog(str(ref_path)) as log:
+            ExperimentExecutor(
+                jobs=2, cache_dir=str(tmp_path / "cache_ref"), campaign=log,
+                heartbeat_events=2000,
+            ).run_batch(configs)
+        assert summary_bytes(resumed_path) == summary_bytes(ref_path)

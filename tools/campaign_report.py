@@ -29,7 +29,7 @@ sys.path.insert(0, str(ROOT / "src"))
 from repro.experiments.report import render_campaign, render_campaign_html  # noqa: E402
 from repro.obs.campaign import (  # noqa: E402
     campaign_summary,
-    read_campaign,
+    read_campaign_with_tail,
     validate_records,
 )
 
@@ -52,10 +52,18 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     try:
-        records = read_campaign(args.log)
+        records, tail = read_campaign_with_tail(args.log)
     except (OSError, ValueError) as error:
         print(f"cannot read {args.log}: {error}", file=sys.stderr)
         return 1
+    if tail is not None:
+        # A SIGKILL mid-write leaves exactly one torn final line; the
+        # journal is still consumable (and resumable) without it.
+        print(
+            f"warning: tolerated truncated final record "
+            f"({len(tail)} bytes): {tail[:60]!r}…",
+            file=sys.stderr,
+        )
 
     errors = validate_records(records)
     if errors:
