@@ -1,8 +1,15 @@
 """Workload applications: bulk flows (flowgrind-like), short RPC
-flows, empirical flow-size mixes, incast rounds, and background cross
-traffic."""
+flows, empirical flow-size mixes, incast rounds, background cross
+traffic, and the fabric-wide workload engine."""
 
 from repro.apps.bulk import BulkReceiver, BulkSender
+from repro.apps.engine import (
+    CompletionStats,
+    TraceFlow,
+    WorkloadEngine,
+    load_trace,
+    write_trace,
+)
 from repro.apps.workload import Flow, Workload
 from repro.apps.background import BackgroundTraffic
 from repro.apps.incast import IncastCoordinator, IncastStats, run_incast
@@ -29,4 +36,9 @@ __all__ = [
     "EmpiricalWorkload",
     "WEB_SEARCH_CDF",
     "DATA_MINING_CDF",
+    "WorkloadEngine",
+    "CompletionStats",
+    "TraceFlow",
+    "load_trace",
+    "write_trace",
 ]

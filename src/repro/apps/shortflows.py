@@ -51,15 +51,28 @@ class ShortFlowStats:
     # the constant-memory view that survives when per-record lists stop
     # scaling (the ROADMAP's 10M-flow workload engine).
     fct_sketch: QuantileSketch = field(default_factory=QuantileSketch)
+    # Streaming counters: flows launched / delivered, and — after
+    # finalize() — flows still open at the horizon. Flows the run cut
+    # off used to simply vanish from the FCT view (``completed`` filters
+    # them out), silently censoring the tail of the distribution.
+    started: int = 0
+    completed_count: int = 0
+    truncated_flows: int = 0
 
     @property
     def completed(self) -> List[ShortFlowRecord]:
         return [r for r in self.records if r.completed]
 
     def completion_rate(self) -> float:
-        if not self.records:
+        """Delivered fraction of every flow *launched* — truncated
+        flows stay in the denominator instead of disappearing."""
+        if not self.started:
             return 0.0
-        return len(self.completed) / len(self.records)
+        return self.completed_count / self.started
+
+    def finalize(self) -> None:
+        """Account for flows still open when the run ended."""
+        self.truncated_flows = self.started - self.completed_count
 
     def fct_values_us(self) -> List[float]:
         return [r.fct_ns / 1000 for r in self.completed]
@@ -122,6 +135,7 @@ class ShortFlowGenerator:
             size_bytes=self.flow_size_bytes,
         )
         self.stats.records.append(record)
+        self.stats.started += 1
         server_port = self._next_port
         self._next_port += 1
         client, server = create_connection_pair(
@@ -139,6 +153,7 @@ class ShortFlowGenerator:
         def on_delivered(time_ns, total, r=record, c=client, s=server):
             if total >= r.size_bytes and r.completed_ns is None:
                 r.completed_ns = time_ns
+                self.stats.completed_count += 1
                 self.stats.fct_sketch.add(r.fct_ns / 1000)
                 # Free the demux slots so long runs don't accumulate.
                 self.sim.schedule(1_000_000, self._cleanup, c, s)
@@ -184,4 +199,5 @@ def run_short_flow_study(
     testbed.start()
     testbed.sim.run(until=duration_ns)
     generator.stop()
+    generator.stats.finalize()
     return generator.stats

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import bisect
 import math
+import warnings
 from typing import Sequence, Tuple, Type
 
 from repro.apps.shortflows import ShortFlowGenerator
@@ -81,12 +82,43 @@ class EmpiricalFlowSizes:
         size = math.exp(math.log(s0) + frac * (math.log(s1) - math.log(s0)))
         return max(int(size), 1)
 
+    def mean(self) -> float:
+        """Exact mean flow size of the piecewise log-linear distribution.
+
+        Within a bin, ``sample`` draws ``exp`` of a uniform variable over
+        ``[ln s0, ln s1]``, whose expectation is the logarithmic mean
+        ``(s1 - s0) / ln(s1 / s0)``. The overall mean is the
+        probability-weighted sum over bins. Exact arithmetic here matters:
+        the heavy data-mining tail (p99 -> p100 spans 100 MB - 1 GB) made
+        the old Monte-Carlo estimate — and therefore the offered load —
+        swing by tens of percent across seeds.
+        """
+        total = 0.0
+        for i in range(len(self._probs) - 1):
+            weight = self._probs[i + 1] - self._probs[i]
+            if weight <= 0.0:
+                continue
+            s0, s1 = self._sizes[i], self._sizes[i + 1]
+            if s0 == s1:
+                bin_mean = float(s0)
+            else:
+                bin_mean = (s1 - s0) / math.log(s1 / s0)
+            total += weight * bin_mean
+        return total
+
     def mean_estimate(self, samples: int = 10_000) -> float:
-        """Monte-Carlo mean (used to convert load to arrival rate)."""
-        probe = EmpiricalFlowSizes(
-            list(zip(self._probs, self._sizes)), self.rng.fork("mean-probe")
+        """Deprecated alias of :meth:`mean`.
+
+        Historically a ``samples``-draw Monte-Carlo estimate; now the
+        closed form (``samples`` is ignored).
+        """
+        warnings.warn(
+            "EmpiricalFlowSizes.mean_estimate is deprecated; use the exact "
+            "EmpiricalFlowSizes.mean()",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        return sum(probe.sample() for _ in range(samples)) / samples
+        return self.mean()
 
 
 class EmpiricalWorkload(ShortFlowGenerator):
@@ -106,12 +138,14 @@ class EmpiricalWorkload(ShortFlowGenerator):
         tcp_config: TCPConfig = None,
         **conn_kwargs,
     ):
-        if not (0.0 < load < 1.0):
-            raise ValueError("load must be in (0, 1)")
+        if not (0.0 < load <= 1.0):
+            raise ValueError("load must be in (0, 1]")
         self.sizes = EmpiricalFlowSizes(cdf, rng.fork("sizes"))
-        mean_size = self.sizes.mean_estimate(samples=2_000)
+        mean_size = self.sizes.mean()
         arrival_rate = load * capacity_bps / 8.0 / mean_size  # flows/s
-        mean_interarrival_ns = int(SEC / arrival_rate)
+        # Round to nearest: truncation shortened every gap, biasing the
+        # achieved load above the requested one.
+        mean_interarrival_ns = max(int(round(SEC / arrival_rate)), 1)
         super().__init__(
             sim, src, dst, rng,
             connection_cls=connection_cls,

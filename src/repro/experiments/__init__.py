@@ -9,7 +9,8 @@ from repro.experiments.checkpoint import (
     checkpoint_path,
     load_resume_plan,
 )
-from repro.experiments.config import ExperimentConfig
+from repro.experiments.config import ExperimentConfig, WorkloadConfig
+from repro.experiments.sweeps import LoadPoint, LoadSweepResult, load_sweep
 from repro.experiments.executor import (
     BatchStats,
     CampaignAborted,
@@ -21,6 +22,10 @@ from repro.experiments.runner import ExperimentResult, RunFailure, run_experimen
 
 __all__ = [
     "ExperimentConfig",
+    "WorkloadConfig",
+    "LoadPoint",
+    "LoadSweepResult",
+    "load_sweep",
     "VARIANTS",
     "VariantSpec",
     "get_variant",

@@ -7,6 +7,8 @@ Usage::
     python -m repro.experiments.cli fig10 --csv out/
     python -m repro.experiments.cli fig7 --trace-out out/ --metrics-out out/ --profile
     python -m repro.experiments.cli sweep-ratio
+    python -m repro.experiments.cli sweep-load --loads 0.2,0.4 --variants cubic,tdtcp --jobs 2
+    python -m repro.experiments.cli replay-trace --trace flows.csv --variant tdtcp
     python -m repro.experiments.cli chaos --fault-plan examples/fault_plans/day_one_storm.json --audit fail
     python -m repro.experiments.cli list
 """
@@ -31,6 +33,7 @@ from repro.obs.campaign import CampaignLog, LiveCampaignView
 from repro.obs.telemetry import ObsConfig
 from repro.experiments.report import (
     figure_to_csv,
+    load_sweep_to_csv,
     render_cdf_summary,
     render_headline_claims,
     render_seq_graph,
@@ -42,6 +45,7 @@ from repro.experiments.sweeps import (
     buffer_economics_sweep,
     day_length_sweep,
     duty_ratio_sweep,
+    load_sweep,
 )
 from repro.net.queues import BUFFER_POLICIES
 
@@ -68,7 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro.experiments.cli",
         description="Regenerate the TDTCP paper's figures on the simulator.",
     )
-    parser.add_argument("target", help="figure id (fig2..fig14-100g), 'chaos', 'sweep-ratio', 'sweep-day', 'sweep-buffer', or 'list'")
+    parser.add_argument("target", help="figure id (fig2..fig14-100g), 'chaos', 'sweep-ratio', 'sweep-day', 'sweep-buffer', 'sweep-load', 'replay-trace', or 'list'")
     parser.add_argument("--weeks", type=int, default=24, help="optical weeks to simulate")
     parser.add_argument("--warmup", type=int, default=8, help="warm-up weeks excluded from averages")
     parser.add_argument("--flows", type=int, default=8, help="parallel cross-rack flows")
@@ -156,7 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--variant", default="tdtcp",
-        help="variant for the 'chaos' target (default: tdtcp)",
+        help="variant for the 'chaos' and 'replay-trace' targets (default: tdtcp)",
     )
     parser.add_argument(
         "--buffer-policy", choices=BUFFER_POLICIES, default=None,
@@ -173,6 +177,43 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--check-determinism", action="store_true",
         help="chaos target: run twice and require byte-identical JSONL traces",
+    )
+    parser.add_argument(
+        "--loads", default="0.2,0.4,0.6",
+        help="sweep-load: comma-separated offered loads in (0, 1] (default: 0.2,0.4,0.6)",
+    )
+    parser.add_argument(
+        "--variants", default="cubic,tdtcp",
+        help="sweep-load: comma-separated engine variants (default: cubic,tdtcp)",
+    )
+    parser.add_argument(
+        "--workload-cdf", choices=("web-search", "data-mining"), default="web-search",
+        help="empirical flow-size CDF for sweep-load (default: web-search)",
+    )
+    parser.add_argument(
+        "--matrix", choices=("permutation", "all-to-all", "hotspot"),
+        default="permutation",
+        help="traffic matrix for sweep-load (default: permutation)",
+    )
+    parser.add_argument(
+        "--hotspot-fraction", type=float, default=0.5,
+        help="fraction of arrivals redirected to the hotspot pair (matrix=hotspot)",
+    )
+    parser.add_argument(
+        "--record-cap", type=int, default=0,
+        help="per-flow record reservoir size (default: 0 = streaming only)",
+    )
+    parser.add_argument(
+        "--max-flows", type=int, default=None,
+        help="stop launching workload-engine flows after this many",
+    )
+    parser.add_argument(
+        "--trace", metavar="CSV", default=None,
+        help="replay-trace: workload trace CSV (start_ns,src,dst,size_bytes)",
+    )
+    parser.add_argument(
+        "--lenient-trace", action="store_true",
+        help="skip malformed trace rows (counted) instead of failing on the first",
     )
     return parser
 
@@ -536,6 +577,113 @@ def run_chaos_executor(args) -> int:
     return 1 if failures else 0
 
 
+def run_sweep_load(args) -> int:
+    """The sweep-load target: offered load x variant grid through the
+    workload engine, one executor batch (parallel / cached /
+    checkpointable like every other campaign)."""
+    from repro.faults.plan import FaultPlan
+
+    try:
+        loads = tuple(float(v) for v in args.loads.split(",") if v.strip())
+    except ValueError:
+        print(f"--loads must be comma-separated floats, got {args.loads!r}",
+              file=sys.stderr)
+        return 2
+    variants = tuple(v.strip() for v in args.variants.split(",") if v.strip())
+    if not loads or not variants:
+        print("--loads and --variants must each name at least one value",
+              file=sys.stderr)
+        return 2
+    executor = executor_from_args(args)
+    result = load_sweep(
+        loads=loads,
+        variants=variants,
+        cdf=args.workload_cdf,
+        matrix=args.matrix,
+        hotspot_fraction=args.hotspot_fraction,
+        record_cap=args.record_cap,
+        max_flows=args.max_flows,
+        weeks=args.weeks,
+        warmup_weeks=args.warmup,
+        seed=args.seed,
+        executor=executor,
+        fault_plan=FaultPlan.load(args.fault_plan) if args.fault_plan else None,
+        watchdog_max_events=args.watchdog_events,
+        watchdog_max_wall_s=args.watchdog_wall,
+        obs=obs_config_from_args(args),
+    )
+    print(result.render())
+    if args.csv:
+        written = load_sweep_to_csv(result, args.csv)
+        print("CSV written:\n  " + "\n  ".join(written))
+    print(f"executor: {executor.last_batch.render()}")
+    if executor.resume is not None:
+        print(f"resume: {executor.last_replayed} replayed, "
+              f"{executor.last_fresh} executed fresh")
+    if executor.campaign is not None:
+        executor.campaign.close()
+        if executor.campaign.path:
+            print(f"campaign log: {executor.campaign.path}")
+    return 0 if result.ok else 1
+
+
+def run_replay_trace(args) -> int:
+    """The replay-trace target: one engine run replaying a CSV trace
+    (``start_ns,src,dst,size_bytes``) under ``--variant``."""
+    from repro.experiments.config import ExperimentConfig, WorkloadConfig
+    from repro.experiments.runner import run_experiment
+
+    if not args.trace:
+        print("replay-trace needs --trace CSV", file=sys.stderr)
+        return 2
+    try:
+        workload = WorkloadConfig(
+            kind="trace",
+            trace_path=args.trace,
+            strict_trace=not args.lenient_trace,
+            record_cap=args.record_cap,
+            max_flows=args.max_flows,
+        )
+    except (OSError, ValueError) as error:
+        print(f"replay-trace: {error}", file=sys.stderr)
+        return 2
+    config = ExperimentConfig(
+        variant=args.variant,
+        weeks=args.weeks,
+        warmup_weeks=args.warmup,
+        seed=args.seed,
+        obs=obs_config_from_args(args),
+        workload=workload,
+        collect_voq=False,
+        collect_sequence=False,
+        watchdog_max_events=args.watchdog_events,
+        watchdog_max_wall_s=args.watchdog_wall,
+        bundle_dir=args.bundle_dir,
+    )
+    result = run_experiment(config)
+    if result.failure is not None:
+        print(result.failure.render(), file=sys.stderr)
+        return 1
+    summary = result.workload_summary or {}
+    print(f"trace: {args.trace}")
+    print(f"flows: {summary.get('started', 0)} offered, "
+          f"{summary.get('completed', 0)} completed, "
+          f"{result.truncated_flows} truncated, "
+          f"{summary.get('trace_rows_skipped', 0)} rows skipped "
+          f"(completion rate {summary.get('completion_rate', 0.0):.3f})")
+    print(f"bytes: {summary.get('bytes_completed', 0):,} delivered of "
+          f"{summary.get('bytes_offered', 0):,} offered")
+    for family in ("fct_us", "slowdown"):
+        percentiles = summary.get(family) or {}
+        cells = "  ".join(
+            f"{label}={value:.2f}"
+            for label, value in percentiles.items()
+            if value is not None
+        )
+        print(f"{family}: {cells or '(no completions)'}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -550,10 +698,15 @@ def main(argv: Optional[List[str]] = None) -> int:
 def _dispatch(args) -> int:
     if args.target == "list":
         print("figures:", ", ".join(sorted(FIGURES)))
-        print("sweeps: sweep-ratio, sweep-day, sweep-buffer")
+        print("sweeps: sweep-ratio, sweep-day, sweep-buffer, sweep-load")
+        print("workload: sweep-load (offered-load grid), replay-trace (--trace CSV)")
         print("chaos: fault-plan run (--fault-plan/--audit/--check-determinism)")
         print("chaos-executor: executor-layer fault gauntlet (--executor-fault-plan)")
         return 0
+    if args.target == "sweep-load":
+        return run_sweep_load(args)
+    if args.target == "replay-trace":
+        return run_replay_trace(args)
     if args.target == "chaos":
         return run_chaos(args)
     if args.target == "chaos-executor":

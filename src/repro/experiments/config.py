@@ -12,13 +12,106 @@ from typing import Optional
 #: under an older scheme can never satisfy a new lookup.
 #: v2: RDCNConfig grew the shared-buffer fields (buffer_policy /
 #: buffer_alpha / buffer_total_capacity).
-CONFIG_SCHEMA_VERSION = 2
+#: v3: ExperimentConfig grew the nested WorkloadConfig (workload-engine
+#: runs) and the empirical-workload mean/rounding fixes changed what a
+#: load value simulates.
+CONFIG_SCHEMA_VERSION = 3
 
 from repro.faults.audit import AUDIT_MODES
 from repro.faults.plan import FaultPlan
 from repro.obs.telemetry import ObsConfig
 from repro.rdcn.config import NotifierConfig, RDCNConfig
 from repro.tcp.config import TCPConfig
+
+#: Named empirical CDFs the workload engine knows out of the box.
+WORKLOAD_CDFS = ("web-search", "data-mining", "custom")
+
+
+@dataclass
+class WorkloadConfig:
+    """Fabric-wide workload-engine settings (repro.apps.engine).
+
+    Attaching one of these to an :class:`ExperimentConfig` switches the
+    run from the bulk long-lived-flow workload to the engine: Poisson
+    empirical traffic (``kind="empirical"``) or CSV trace replay
+    (``kind="trace"``) across every ToR pair.
+    """
+
+    kind: str = "empirical"  # "empirical" | "trace"
+    cdf: str = "web-search"
+    #: Custom CDF points ((cum_prob, size_bytes), ...) for cdf="custom".
+    custom_cdf: Optional[tuple] = None
+    #: Target offered load as a fraction of per-ToR fabric capacity.
+    load: float = 0.4
+    matrix: str = "permutation"  # "permutation" | "all-to-all" | "hotspot"
+    hotspot_fraction: float = 0.5
+    #: Trace replay inputs. The *content hash* is the semantic identity
+    #: of a trace for cache keys; the path is where this process finds
+    #: it (excluded from canonical_json, like fault_plan_path).
+    trace_path: Optional[str] = None
+    trace_sha256: Optional[str] = None
+    strict_trace: bool = True
+    #: Per-flow record storage: 0 = none (pure streaming), N > 0 keeps a
+    #: reservoir sample of at most N records.
+    record_cap: int = 0
+    #: Stop launching after this many flows (None = run to the horizon).
+    max_flows: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("empirical", "trace"):
+            raise ValueError(f"unknown workload kind {self.kind!r}")
+        if self.cdf not in WORKLOAD_CDFS:
+            raise ValueError(f"unknown workload cdf {self.cdf!r}; known: {WORKLOAD_CDFS}")
+        if self.cdf == "custom" and self.kind == "empirical" and not self.custom_cdf:
+            raise ValueError("cdf='custom' needs custom_cdf points")
+        if not (0.0 < self.load <= 1.0):
+            raise ValueError("load must be in (0, 1]")
+        if self.matrix not in ("permutation", "all-to-all", "hotspot"):
+            raise ValueError(f"unknown traffic matrix {self.matrix!r}")
+        if not (0.0 <= self.hotspot_fraction <= 1.0):
+            raise ValueError("hotspot_fraction must be in [0, 1]")
+        if self.record_cap < 0:
+            raise ValueError("record_cap must be >= 0")
+        if self.max_flows is not None and self.max_flows < 1:
+            raise ValueError("max_flows must be >= 1")
+        if self.kind == "trace":
+            if self.trace_path is None:
+                raise ValueError("kind='trace' needs trace_path")
+            if self.trace_sha256 is None:
+                self.trace_sha256 = _file_sha256(self.trace_path)
+        if self.custom_cdf is not None:
+            # Canonical form: tuples of tuples (JSON round-trips as
+            # lists, so normalize both directions).
+            self.custom_cdf = tuple((float(p), int(s)) for p, s in self.custom_cdf)
+
+    def size_cdf(self):
+        """The (prob, size) points this config names."""
+        from repro.apps.tracegen import DATA_MINING_CDF, WEB_SEARCH_CDF
+
+        if self.cdf == "web-search":
+            return WEB_SEARCH_CDF
+        if self.cdf == "data-mining":
+            return DATA_MINING_CDF
+        return self.custom_cdf
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown WorkloadConfig fields {sorted(unknown)}")
+        return cls(**data)
+
+
+def _file_sha256(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
 
 
 @dataclass
@@ -51,6 +144,9 @@ class ExperimentConfig:
     # Telemetry (tracepoints / metrics / profiling); None disables —
     # the probe sites then cost one attribute check each.
     obs: Optional[ObsConfig] = None
+    # Workload engine (repro.apps.engine): when set the run launches
+    # fabric-wide empirical/trace traffic instead of the bulk flows.
+    workload: Optional[WorkloadConfig] = None
     # Fault injection (repro.faults): a FaultPlan armed on the testbed
     # before the run, or a path to load one from. None = no faults.
     fault_plan: Optional[FaultPlan] = None
@@ -74,6 +170,10 @@ class ExperimentConfig:
             self.fault_plan = FaultPlan.load(self.fault_plan_path)
         if self.n_flows < 1:
             raise ValueError("need at least one flow")
+        if self.workload is not None and self.variant == "mptcp":
+            # The engine opens/closes one plain connection per flow;
+            # MPTCP's subflow bundles don't fit that churn discipline.
+            raise ValueError("the workload engine does not support the mptcp variant")
         if not (0.0 <= self.background_load < 1.0):
             raise ValueError("background_load must be in [0, 1)")
         if self.tcp is None:
@@ -104,7 +204,9 @@ class ExperimentConfig:
         out: dict = {}
         for f in fields(self):
             value = getattr(self, f.name)
-            if value is not None and f.name in ("rdcn", "tcp", "obs", "fault_plan"):
+            if value is not None and f.name in (
+                "rdcn", "tcp", "obs", "fault_plan", "workload"
+            ):
                 value = value.to_dict()
             out[f.name] = value
         return out
@@ -124,6 +226,8 @@ class ExperimentConfig:
             kwargs["obs"] = ObsConfig.from_dict(kwargs["obs"])
         if kwargs.get("fault_plan") is not None:
             kwargs["fault_plan"] = FaultPlan.from_dict(kwargs["fault_plan"])
+        if kwargs.get("workload") is not None:
+            kwargs["workload"] = WorkloadConfig.from_dict(kwargs["workload"])
         return cls(**kwargs)
 
     def canonical_json(self) -> str:
@@ -132,6 +236,11 @@ class ExperimentConfig:
         payload = self.to_dict()
         for name in self.NON_SEMANTIC_FIELDS:
             payload.pop(name, None)
+        if payload.get("workload") is not None:
+            # The trace's *content hash* is its semantic identity; the
+            # filesystem path is just where this process found it.
+            payload["workload"] = dict(payload["workload"])
+            payload["workload"].pop("trace_path", None)
         return json.dumps(
             {"schema": CONFIG_SCHEMA_VERSION, "config": payload},
             sort_keys=True,

@@ -388,6 +388,113 @@ def buffer_figure_family(
     return family
 
 
+@dataclass
+class SlowdownFigure:
+    """The FCT-slowdown figure family: per-(variant x load) percentile
+    curves from the workload engine's streaming sketches.
+
+    ``curves[variant][label]`` is one value per offered load (NaN where
+    that cell failed or recorded no completions), aligned with
+    ``loads``. The per-size-bin families ride along as
+    ``bin_curves[bin][variant][label]``.
+    """
+
+    name: str
+    loads: Tuple[float, ...]
+    variants: Tuple[str, ...]
+    curves: Dict[str, Dict[str, np.ndarray]] = field(default_factory=dict)
+    bin_curves: Dict[str, Dict[str, Dict[str, np.ndarray]]] = field(default_factory=dict)
+    achieved_loads: Dict[str, np.ndarray] = field(default_factory=dict)
+    sweep: Optional[object] = None  # the underlying LoadSweepResult
+    failures: Dict[str, RunFailure] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def fig_fct_slowdown(
+    loads: Sequence[float] = (0.2, 0.4, 0.6),
+    variants: Sequence[str] = ("cubic", "tdtcp"),
+    cdf: str = "web-search",
+    matrix: str = "permutation",
+    hotspot_fraction: float = 0.5,
+    weeks: int = 24, warmup_weeks: int = 8, seed: int = 1,
+    obs: Optional[ObsConfig] = None,
+    executor: Optional[ExperimentExecutor] = None,
+    percentile_labels: Sequence[str] = ("p50", "p99"),
+) -> SlowdownFigure:
+    """FCT-slowdown curves per (variant x offered load).
+
+    One workload-engine run per cell through the executor (parallel,
+    cached, checkpointable like every other batch); the slowdown
+    percentiles are read from each run's merged-ready sketches. This is
+    the figure the ROADMAP's production-workload item calls for — the
+    empirical-traffic counterpart of the paper's long-lived-flow plots.
+    """
+    from repro.apps.engine import SIZE_BINS
+    from repro.experiments.sweeps import load_sweep
+
+    sweep = load_sweep(
+        loads=loads, variants=variants, cdf=cdf, matrix=matrix,
+        hotspot_fraction=hotspot_fraction,
+        weeks=weeks, warmup_weeks=warmup_weeks, seed=seed,
+        executor=executor, obs=obs,
+    )
+    data = SlowdownFigure(
+        name="fig-fct-slowdown",
+        loads=tuple(loads),
+        variants=tuple(variants),
+        sweep=sweep,
+    )
+    by_cell = {(p.load, p.variant): p for p in sweep.points}
+    for point in sweep.failures:
+        data.failures[f"{point.load:.2f}/{point.variant}"] = point.failure
+
+    def curve(variant: str, sketch: str, label: str) -> np.ndarray:
+        values = []
+        for load in loads:
+            point = by_cell.get((load, variant))
+            value = point.percentile(sketch, label) if point is not None and point.ok else None
+            values.append(float("nan") if value is None else value)
+        return np.asarray(values, dtype=float)
+
+    for variant in variants:
+        data.curves[variant] = {
+            label: curve(variant, "slowdown", label) for label in percentile_labels
+        }
+        data.achieved_loads[variant] = np.asarray(
+            [
+                by_cell[(load, variant)].achieved_load
+                if (load, variant) in by_cell and by_cell[(load, variant)].ok
+                else float("nan")
+                for load in loads
+            ],
+            dtype=float,
+        )
+        for bin_label, _bound in SIZE_BINS:
+            per_bin = data.bin_curves.setdefault(bin_label, {})
+            per_bin[variant] = {
+                label: np.asarray(
+                    [
+                        _bin_percentile(by_cell.get((load, variant)), bin_label, label)
+                        for load in loads
+                    ],
+                    dtype=float,
+                )
+                for label in percentile_labels
+            }
+    return data
+
+
+def _bin_percentile(point, bin_label: str, label: str) -> float:
+    if point is None or not point.ok or point.summary is None:
+        return float("nan")
+    bins = point.summary.get("slowdown_by_bin") or {}
+    value = (bins.get(bin_label) or {}).get(label)
+    return float("nan") if value is None else value
+
+
 def fig14(
     rate_gbps: float, weeks: int = 40, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1,
     obs: Optional[ObsConfig] = None,

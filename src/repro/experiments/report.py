@@ -193,6 +193,73 @@ def sweep_to_csv(result, directory) -> List[str]:
     return [str(path)]
 
 
+def render_slowdown_figure(data) -> str:
+    """Text view of a :class:`SlowdownFigure`: one block per percentile
+    label, loads down, variants across (NaN cells print as ``-``)."""
+    lines = [f"[{data.name}] FCT slowdown vs offered load ({', '.join(data.variants)})"]
+    labels = sorted({label for curves in data.curves.values() for label in curves})
+    for label in labels:
+        lines.append(f"  slowdown {label}:")
+        header = f"{'load':>8} " + " ".join(f"{v:>10}" for v in data.variants)
+        lines.append("  " + header)
+        for row, load in enumerate(data.loads):
+            cells = []
+            for variant in data.variants:
+                value = data.curves.get(variant, {}).get(label)
+                cell = value[row] if value is not None and row < len(value) else float("nan")
+                cells.append(f"{cell:10.2f}" if cell == cell else f"{'-':>10}")
+            lines.append(f"  {load:8.2f} " + " ".join(cells))
+    if data.failures:
+        for cell, failure in sorted(data.failures.items()):
+            lines.append(f"  [{cell}] {failure.render()}")
+    return "\n".join(lines)
+
+
+def load_sweep_to_csv(result, directory) -> List[str]:
+    """Write a :class:`LoadSweepResult` as one long-format CSV: one row
+    per (load, variant) with counts, loads, and the slowdown/FCT
+    percentiles. Failed cells carry empty measurement columns and
+    status ``failed`` — never fake zeros."""
+    import csv
+    import pathlib
+
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result.name}_points.csv"
+    labels = [label for label, _q in PERCENTILE_LABELS]
+    header = (
+        ["load", "variant", "offered_load", "achieved_load", "started",
+         "completed", "truncated", "completion_rate"]
+        + [f"slowdown_{label}" for label in labels]
+        + [f"fct_us_{label}" for label in labels]
+        + ["status"]
+    )
+
+    def fmt(value) -> str:
+        return "" if value is None else f"{value:.6g}"
+
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for point in result.points:
+            if not point.ok:
+                writer.writerow(
+                    [f"{point.load:.4f}", point.variant] + [""] * (len(header) - 3)
+                    + ["failed"]
+                )
+                continue
+            writer.writerow(
+                [f"{point.load:.4f}", point.variant,
+                 f"{point.load:.6g}", fmt(point.achieved_load),
+                 point.started, point.completed, point.truncated,
+                 f"{point.completion_rate:.6g}"]
+                + [fmt(point.percentile("slowdown", label)) for label in labels]
+                + [fmt(point.percentile("fct_us", label)) for label in labels]
+                + ["ok"]
+            )
+    return [str(path)]
+
+
 def headline_claims(data: FigureData) -> Dict[str, float]:
     """The abstract's numbers from a Figure-7 run: TDTCP vs CUBIC/DCTCP
     (paper: +24%), vs MPTCP (paper: +41%), vs reTCP-dyn (paper: parity)."""

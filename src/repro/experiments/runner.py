@@ -6,9 +6,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.apps.engine import WorkloadEngine, load_trace
 from repro.apps.workload import build_workload
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.variants import get_variant
+from repro.experiments.variants import engine_flow_opener, get_variant
 from repro.faults.audit import InvariantAuditor, run_with_watchdog, write_repro_bundle
 from repro.faults.injectors import FaultInjector
 from repro.metrics.collectors import EventCounterCollector, QueueOccupancyCollector
@@ -108,6 +109,11 @@ class ExperimentResult:
     fast_recoveries: int = 0
     reinjections: int = 0
     notification_latencies: List[int] = field(default_factory=list)
+    # Workload-engine outputs (config.workload runs): the deterministic
+    # completion digest, and the count of flows the horizon cut off —
+    # explicit, so the censored FCT tail is visible instead of missing.
+    workload_summary: Optional[dict] = None
+    truncated_flows: int = 0
     # Streaming aggregates: name -> serialized QuantileSketch state
     # (repro.obs.sketch). Constant-memory summaries that merge exactly
     # across runs — the campaign dashboard's percentile source.
@@ -166,6 +172,8 @@ class ExperimentResult:
             "fast_recoveries": self.fast_recoveries,
             "reinjections": self.reinjections,
             "notification_latencies": list(self.notification_latencies),
+            "workload_summary": self.workload_summary,
+            "truncated_flows": self.truncated_flows,
             "sketches": dict(self.sketches),
             "artifacts": list(self.artifacts),
             "profile_report": self.profile_report,
@@ -262,15 +270,59 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     context = variant.prepare(testbed, config)
 
     seq_collector = _AggregateSeqCollector()
+    workload = None
+    engine: Optional[WorkloadEngine] = None
+    if config.workload is not None:
+        # Workload-engine path: fabric-wide empirical traffic or trace
+        # replay instead of the bulk long-lived flows.
+        wl = config.workload
+        connection_cls, cc_name, conn_kwargs = engine_flow_opener(
+            config.variant, testbed, config
+        )
+        trace = None
+        if wl.kind == "trace":
+            try:
+                trace, skipped = load_trace(wl.trace_path, strict=wl.strict_trace)
+            except (OSError, ValueError) as error:
+                # A bad trace is this run's failure, not a crash that
+                # takes down the whole batch.
+                result = ExperimentResult(config=config, duration_ns=config.duration_ns)
+                result.failure = RunFailure(
+                    error_type=type(error).__name__,
+                    error_message=str(error),
+                    seed=config.seed,
+                    fault_plan_path=config.fault_plan_path,
+                    bundle_path=None,
+                )
+                return result
+        engine = WorkloadEngine(
+            testbed,
+            testbed.rng,
+            load=wl.load,
+            cdf=wl.size_cdf() if wl.kind == "empirical" else None,
+            matrix=wl.matrix,
+            hotspot_fraction=wl.hotspot_fraction,
+            trace=trace,
+            connection_cls=connection_cls,
+            cc_name=cc_name,
+            tcp_config=config.tcp,
+            record_cap=wl.record_cap,
+            max_flows=wl.max_flows,
+            **conn_kwargs,
+        )
+        if wl.kind == "trace":
+            engine.stats.trace_rows_skipped = skipped
+        engine.start()
+    else:
 
-    def flow_factory(tb: TwoRackTestbed, src, dst, index: int):
-        sender, receiver = variant.make_flow(tb, src, dst, index, config, context)
-        receiver.on_delivered = seq_collector.make_callback(index)
-        return sender, receiver
+        def flow_factory(tb: TwoRackTestbed, src, dst, index: int):
+            sender, receiver = variant.make_flow(tb, src, dst, index, config, context)
+            receiver.on_delivered = seq_collector.make_callback(index)
+            return sender, receiver
 
-    workload = build_workload(
-        testbed, flow_factory, n_flows=config.n_flows, trace_sequence=False
-    )
+        workload = build_workload(
+            testbed, flow_factory, n_flows=config.n_flows, trace_sequence=False
+        )
 
     voq_collector: Optional[QueueOccupancyCollector] = None
     if config.collect_voq:
@@ -296,7 +348,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         auditor = InvariantAuditor(
             testbed.sim, mode=config.audit, interval_ns=config.audit_interval_ns
         )
-        auditor.watch_workload(workload)
+        if workload is not None:
+            auditor.watch_workload(workload)
         for uplink in testbed.uplinks.values():
             auditor.watch_uplink(uplink)
 
@@ -355,35 +408,44 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         result.fault_report = injector.report()
     if auditor is not None:
         result.audit_report = auditor.report()
-    result.flow_delivered = [flow.delivered_bytes for flow in workload.flows]
-    result.aggregate_delivered = seq_collector.total
-    result.seq_samples = seq_collector.samples
+    if engine is not None:
+        stats = engine.finish()
+        result.workload_summary = stats.summary(
+            config.duration_ns, engine.n_racks, engine.load
+        )
+        result.truncated_flows = stats.truncated_flows
+        result.aggregate_delivered = stats.bytes_completed
+    else:
+        result.flow_delivered = [flow.delivered_bytes for flow in workload.flows]
+        result.aggregate_delivered = seq_collector.total
+        result.seq_samples = seq_collector.samples
     if voq_collector is not None:
         result.voq_samples = voq_collector.samples
         result.voq_max = voq_collector.max_occupancy()
 
-    reorder_counter = EventCounterCollector(testbed.schedule)
-    retx_counter = EventCounterCollector(testbed.schedule)
-    for flow in workload.flows:
-        for stats in _iter_sender_stats(flow.sender):
-            result.retransmissions += stats.retransmissions
-            result.spurious_retransmissions += stats.spurious_retransmissions
-            result.rtos += stats.rtos
-            result.fast_recoveries += stats.fast_recoveries
-            reorder_counter.record_events(
-                [(t, 1) for t, _n in stats.reordering_events]
-            )
-            retx_counter.record_events(
-                [(mark[0], 1) for mark in stats.retransmit_marks]
-            )
-        if hasattr(flow.sender, "stats") and hasattr(flow.sender.stats, "reinjections"):
-            result.reinjections += flow.sender.stats.reinjections
-    result.reordering_per_day = reorder_counter.per_day_counts(
-        config.weeks, config.warmup_weeks
-    )
-    result.retx_marks_per_day = retx_counter.per_day_counts(
-        config.weeks, config.warmup_weeks
-    )
+    if workload is not None:
+        reorder_counter = EventCounterCollector(testbed.schedule)
+        retx_counter = EventCounterCollector(testbed.schedule)
+        for flow in workload.flows:
+            for stats in _iter_sender_stats(flow.sender):
+                result.retransmissions += stats.retransmissions
+                result.spurious_retransmissions += stats.spurious_retransmissions
+                result.rtos += stats.rtos
+                result.fast_recoveries += stats.fast_recoveries
+                reorder_counter.record_events(
+                    [(t, 1) for t, _n in stats.reordering_events]
+                )
+                retx_counter.record_events(
+                    [(mark[0], 1) for mark in stats.retransmit_marks]
+                )
+            if hasattr(flow.sender, "stats") and hasattr(flow.sender.stats, "reinjections"):
+                result.reinjections += flow.sender.stats.reinjections
+        result.reordering_per_day = reorder_counter.per_day_counts(
+            config.weeks, config.warmup_weeks
+        )
+        result.retx_marks_per_day = retx_counter.per_day_counts(
+            config.weeks, config.warmup_weeks
+        )
     result.notification_latencies = list(testbed.notifier.delivery_latency_samples)
     result.sketches = {
         "notify_latency_ns": sketch_from_samples(
@@ -396,6 +458,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             float(v) for v in result.reordering_per_day
         ).to_dict(),
     }
+    if engine is not None:
+        result.sketches.update(engine.stats.sketches())
     if telemetry is not None:
         result.artifacts = telemetry.finish()
         result.profile_report = telemetry.profile_report()

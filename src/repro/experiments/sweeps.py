@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.config import ExperimentConfig
+from repro.experiments.config import ExperimentConfig, WorkloadConfig
 from repro.experiments.executor import ExperimentExecutor
 from repro.experiments.runner import RunFailure
 from repro.faults.plan import FaultPlan
@@ -155,6 +155,172 @@ def _run_sweep(
                 throughput_gbps=run.steady_state_throughput_gbps(),
                 retransmissions=run.retransmissions,
                 rtos=run.rtos,
+            )
+        )
+    return result
+
+
+@dataclass
+class LoadPoint:
+    """One (offered load, variant) workload-engine measurement."""
+
+    load: float
+    variant: str
+    achieved_load: float = float("nan")
+    started: int = 0
+    completed: int = 0
+    truncated: int = 0
+    completion_rate: float = 0.0
+    #: Serialized QuantileSketch states (fct_us / slowdown / per-bin)
+    #: from the run — merge-ready across seeds and campaigns.
+    sketches: Dict[str, dict] = field(default_factory=dict)
+    summary: Optional[dict] = None
+    failure: Optional[RunFailure] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    def percentile(self, sketch: str, label: str) -> Optional[float]:
+        """One labeled percentile (e.g. ``("slowdown", "p99")``) from
+        this point's serialized sketches; None when absent/empty."""
+        if self.summary is None:
+            return None
+        family = self.summary.get(sketch)
+        if not isinstance(family, dict):
+            return None
+        return family.get(label)
+
+
+@dataclass
+class LoadSweepResult:
+    """A load x variant grid of workload-engine runs."""
+
+    name: str
+    points: List[LoadPoint] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[LoadPoint]:
+        return [p for p in self.points if not p.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        variants = sorted({p.variant for p in self.points})
+        by_cell = {(p.load, p.variant): p for p in self.points}
+        loads = sorted({p.load for p in self.points})
+        header = f"{'load':>6} " + " ".join(f"{v:>24}" for v in variants)
+        lines = [
+            f"[{self.name}] FCT slowdown p50/p99 (achieved load)",
+            header,
+        ]
+        for load in loads:
+            cells = []
+            for variant in variants:
+                point = by_cell.get((load, variant))
+                if point is None:
+                    cells.append(f"{'-':>24}")
+                elif not point.ok:
+                    cells.append(f"{'FAILED':>24}")
+                else:
+                    p50 = point.percentile("slowdown", "p50")
+                    p99 = point.percentile("slowdown", "p99")
+                    p50_s = f"{p50:.1f}" if p50 is not None else "-"
+                    p99_s = f"{p99:.1f}" if p99 is not None else "-"
+                    cells.append(
+                        f"{p50_s + '/' + p99_s:>15} ({point.achieved_load:5.3f})"
+                    )
+            lines.append(f"{load:6.2f} " + " ".join(cells))
+        for point in self.failures:
+            lines.append(
+                f"  [{point.load:.2f}/{point.variant}] {point.failure.render()}"
+            )
+        return "\n".join(lines)
+
+
+def load_sweep(
+    loads: Sequence[float] = (0.2, 0.4, 0.6),
+    variants: Sequence[str] = ("cubic", "tdtcp"),
+    cdf: str = "web-search",
+    custom_cdf: Optional[tuple] = None,
+    matrix: str = "permutation",
+    hotspot_fraction: float = 0.5,
+    record_cap: int = 0,
+    max_flows: Optional[int] = None,
+    weeks: int = 24,
+    warmup_weeks: int = 8,
+    seed: int = 1,
+    executor: Optional[ExperimentExecutor] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    watchdog_max_events: Optional[int] = None,
+    watchdog_max_wall_s: Optional[float] = None,
+    obs=None,
+) -> LoadSweepResult:
+    """Offered load x variant grid through the workload engine.
+
+    Every cell is one seeded engine run (Poisson empirical arrivals on
+    the two-rack fabric); FCT/slowdown percentiles come from the run's
+    streaming sketches, so memory stays flat however many flows a cell
+    launches. Per-flow records stay off unless ``record_cap`` asks for
+    a reservoir.
+    """
+    grid = [(load, variant) for load in loads for variant in variants]
+    configs = [
+        ExperimentConfig(
+            variant=variant,
+            weeks=weeks,
+            warmup_weeks=warmup_weeks,
+            seed=seed,
+            fault_plan=fault_plan,
+            watchdog_max_events=watchdog_max_events,
+            watchdog_max_wall_s=watchdog_max_wall_s,
+            collect_voq=False,
+            collect_sequence=False,
+            obs=obs.for_run(f"load_{load:.2f}_{variant}") if obs is not None else None,
+            workload=WorkloadConfig(
+                kind="empirical",
+                cdf=cdf,
+                custom_cdf=custom_cdf,
+                load=load,
+                matrix=matrix,
+                hotspot_fraction=hotspot_fraction,
+                record_cap=record_cap,
+                max_flows=max_flows,
+            ),
+        )
+        for load, variant in grid
+    ]
+    if executor is None:
+        executor = ExperimentExecutor()
+    runs = executor.run_batch(
+        configs,
+        labels=[f"load-sweep/{load:.2f}/{variant}" for load, variant in grid],
+    )
+    result = LoadSweepResult(name="load-sweep")
+    for (load, variant), run in zip(grid, runs):
+        if not run.ok:
+            result.points.append(
+                LoadPoint(load=load, variant=variant, failure=run.failure)
+            )
+            continue
+        summary = run.workload_summary or {}
+        result.points.append(
+            LoadPoint(
+                load=load,
+                variant=variant,
+                achieved_load=summary.get("achieved_load", float("nan")),
+                started=summary.get("started", 0),
+                completed=summary.get("completed", 0),
+                truncated=run.truncated_flows,
+                completion_rate=summary.get("completion_rate", 0.0),
+                sketches={
+                    name: state
+                    for name, state in run.sketches.items()
+                    if name.startswith(("fct_", "slowdown"))
+                },
+                summary=summary,
             )
         )
     return result

@@ -161,3 +161,30 @@ def get_variant(name: str) -> VariantSpec:
         return VARIANTS[name]
     except KeyError:
         raise KeyError(f"unknown variant {name!r}; known: {sorted(VARIANTS)}") from None
+
+
+#: Variants the workload engine can drive: everything that opens one
+#: plain connection per flow. MPTCP's subflow bundles don't fit the
+#: engine's open/write/close churn discipline.
+ENGINE_VARIANTS = ("cubic", "dctcp", "reno", "retcp", "retcpdyn", "tdtcp", "tdtcp-unopt")
+
+
+def engine_flow_opener(name: str, testbed: TwoRackTestbed, exp_config):
+    """How the workload engine opens one short flow under ``name``:
+    returns ``(connection_cls, cc_name, conn_kwargs)``.
+
+    retcpdyn keeps its VOQ-resizing controller (``prepare`` still runs)
+    but short flows are not registered for the advance cwnd ramp — they
+    rarely outlive a single day, so the ramp has nothing to act on.
+    """
+    if name not in ENGINE_VARIANTS:
+        raise ValueError(
+            f"variant {name!r} is not supported by the workload engine; "
+            f"supported: {ENGINE_VARIANTS}"
+        )
+    spec = get_variant(name)
+    if isinstance(spec, SinglePathVariant):
+        return TCPConnection, spec.cc_name, {}
+    if isinstance(spec, ReTCPVariant):
+        return ReTCPConnection, "cubic", {"alpha": exp_config.retcp_alpha}
+    return TDTCPConnection, "cubic", {"tdn_count": testbed.config.n_tdns}

@@ -280,6 +280,19 @@ class _MetricsBridge:
             "tdn_notification_stale", "stale/duplicate/unknown TDN notifications ignored",
             ("where", "reason"),
         )
+        self._workload_flows = registry.counter(
+            "workload_flows_total", "workload-engine flows by lifecycle stage",
+            ("stage",),
+        )
+        self._workload_fct = registry.histogram(
+            "workload_fct_ns", "workload-engine flow completion time", ()
+        )
+        self._workload_offered = registry.gauge(
+            "workload_offered_load", "requested offered load (fraction of fabric)", ()
+        )
+        self._workload_achieved = registry.gauge(
+            "workload_achieved_load", "achieved load (delivered bytes / capacity)", ()
+        )
         self._fault_injections = registry.counter(
             "fault_injections_total", "injected fault effects", ("kind",)
         )
@@ -316,6 +329,14 @@ class _MetricsBridge:
             self._notify_stale.inc(
                 1, where=fields.get("where"), reason=fields.get("reason")
             )
+        elif name == "workload:flow_start":
+            self._workload_flows.inc(1, stage="started")
+        elif name == "workload:flow_complete":
+            self._workload_flows.inc(1, stage="completed")
+            self._workload_fct.observe(fields.get("fct_ns", 0))
+        elif name == "workload:load_report":
+            self._workload_offered.set(fields.get("offered_load", 0.0))
+            self._workload_achieved.set(fields.get("achieved_load", 0.0))
         elif name == "fault:inject":
             self._fault_injections.inc(1, kind=fields.get("kind"))
         elif name == "audit:violation":

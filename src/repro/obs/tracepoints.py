@@ -70,6 +70,18 @@ TRACEPOINT_CATALOG: Dict[str, Tuple[Tuple[str, ...], str]] = {
         ("where", "name", "tdn", "reason"),
         "stale/duplicate/unknown TDN notification counted and ignored (§3.2 tolerance)",
     ),
+    "workload:flow_start": (
+        ("src", "dst", "size_bytes"),
+        "workload-engine flow launched (repro.apps.engine)",
+    ),
+    "workload:flow_complete": (
+        ("src", "dst", "size_bytes", "fct_ns", "slowdown"),
+        "workload-engine flow fully delivered: FCT and line-rate slowdown",
+    ),
+    "workload:load_report": (
+        ("offered_load", "achieved_load", "started", "completed", "truncated"),
+        "end-of-run offered vs achieved load digest (one emission per engine run)",
+    ),
     "fault:inject": (
         ("kind", "target", "detail"),
         "one injected fault effect (repro.faults: drop, flap, stall, skew, ...)",

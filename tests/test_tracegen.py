@@ -55,9 +55,39 @@ class TestEmpiricalFlowSizes:
 
     @given(seed=st.integers(0, 1000))
     @settings(max_examples=20)
-    def test_mean_estimate_finite_positive(self, seed):
+    def test_mean_finite_positive(self, seed):
         sampler = EmpiricalFlowSizes(DATA_MINING_CDF, SeededRandom(seed))
-        assert sampler.mean_estimate(samples=500) > 0
+        assert sampler.mean() > 0
+
+
+class TestClosedFormMean:
+    def test_matches_million_sample_monte_carlo(self):
+        # The closed form (probability-weighted logarithmic bin means)
+        # replaced the old 2,000-sample estimate; pin it against a
+        # 1M-sample Monte-Carlo within 1%.
+        for cdf in (WEB_SEARCH_CDF, DATA_MINING_CDF):
+            sampler = EmpiricalFlowSizes(cdf, SeededRandom(7))
+            exact = sampler.mean()
+            n = 1_000_000
+            mc = sum(sampler.sample() for _ in range(n)) / n
+            assert abs(mc - exact) / exact < 0.01
+
+    def test_degenerate_bin_uses_its_size(self):
+        sampler = EmpiricalFlowSizes(((0.0, 500), (1.0, 500)), SeededRandom(1))
+        assert sampler.mean() == pytest.approx(500.0)
+
+    def test_mean_is_deterministic(self):
+        # No sampling left in the mean: independent instances agree to
+        # the bit, whatever their RNG state.
+        a = EmpiricalFlowSizes(WEB_SEARCH_CDF, SeededRandom(1))
+        b = EmpiricalFlowSizes(WEB_SEARCH_CDF, SeededRandom(999))
+        b.sample()
+        assert a.mean() == b.mean()
+
+    def test_mean_estimate_is_deprecated_alias(self):
+        sampler = EmpiricalFlowSizes(DATA_MINING_CDF, SeededRandom(7))
+        with pytest.deprecated_call():
+            assert sampler.mean_estimate(samples=500) == sampler.mean()
 
 
 class TestEmpiricalWorkload:
@@ -93,8 +123,31 @@ class TestEmpiricalWorkload:
 
     def test_invalid_load(self):
         sim, a, b, _ab, _ba = two_hosts()
-        with pytest.raises(ValueError):
-            EmpiricalWorkload(
-                sim, a, b, SeededRandom(3),
-                cdf=DATA_MINING_CDF, load=1.5, capacity_bps=gbps(10),
-            )
+        for load in (1.5, 0.0, -0.1):
+            with pytest.raises(ValueError):
+                EmpiricalWorkload(
+                    sim, a, b, SeededRandom(3),
+                    cdf=DATA_MINING_CDF, load=load, capacity_bps=gbps(10),
+                )
+
+    def test_full_load_accepted(self):
+        # load == 1.0 (line rate) used to be rejected by an exclusive
+        # upper bound; it is a legitimate operating point.
+        sim, a, b, _ab, _ba = two_hosts()
+        workload = EmpiricalWorkload(
+            sim, a, b, SeededRandom(3),
+            cdf=DATA_MINING_CDF, load=1.0, capacity_bps=gbps(10),
+        )
+        assert workload.mean_interarrival_ns >= 1
+
+    def test_interarrival_rounds_to_nearest(self):
+        # Truncation biased every gap short, inflating achieved load;
+        # the gap is now round(SEC / rate). A fixed 1000-byte CDF at
+        # capacity 3 Gbps, load 1.0: rate = 375_000 flows/s, so the
+        # exact gap is 2666.67 ns -> 2667, not 2666.
+        sim, a, b, _ab, _ba = two_hosts()
+        workload = EmpiricalWorkload(
+            sim, a, b, SeededRandom(3),
+            cdf=((0.0, 1_000), (1.0, 1_000)), load=1.0, capacity_bps=3e9,
+        )
+        assert workload.mean_interarrival_ns == 2667
