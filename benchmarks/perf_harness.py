@@ -33,11 +33,24 @@ Usage::
     PYTHONPATH=src python benchmarks/perf_harness.py --quick \\
         --baseline benchmarks/results/BENCH_simcore_quick.json        # regression gate
 
+Schema v3 adds a ``tiered_bulk`` block: the same bulk workload run at
+``fidelity="packet"`` and ``fidelity="tiered"`` (no telemetry on either
+leg, so the walls are comparable), reporting the **events-equivalent
+speedup** — wall-clock ratio normalized by delivered bytes, i.e. how
+many packet-equivalent events per second the fluid fast path stands in
+for — plus the engine flow-throughput probe (``engine_flows_per_sec``
+both modes on a short empirical-mix run). ``--tiered-speedup-floor``
+gates the speedup (CI pins ≥5×). Tiered runs have no trace digest by
+design: cross-fidelity agreement is gated statistically in
+``tests/test_fastpath.py`` and by the figure-shape check
+(``tools/figure_shape_check.py``), not byte-identity.
+
 Exit codes: 0 ok, 1 events/s regression beyond tolerance, 2 trace
 divergence (simulation behavior changed — never acceptable for a perf
 PR), 3 baseline/mode mismatch, 4 event-core counter regression
 (heap-push count drifted from the pinned baseline value, or the pool
-hit rate fell below the floor).
+hit rate fell below the floor), 5 tiered events-equivalent speedup
+below ``--tiered-speedup-floor``.
 
 The JSON schema is documented in ``docs/performance.md``.
 """
@@ -73,10 +86,13 @@ from repro.rdcn.topology import build_two_rack_testbed  # noqa: E402
 from repro.sim.simulator import Simulator  # noqa: E402
 from repro.units import usec  # noqa: E402
 
-SCHEMA = "bench-simcore/2"
-# v1 baselines (pre event-core counters) still gate traces + events/s;
-# the counter gates simply skip fields the baseline doesn't have.
-ACCEPTED_BASELINE_SCHEMAS = ("bench-simcore/1", "bench-simcore/2")
+SCHEMA = "bench-simcore/3"
+# Older baselines still gate traces + events/s; gates for fields a
+# baseline doesn't have (event-core counters on v1, tiered_bulk on
+# v1/v2) simply skip.
+ACCEPTED_BASELINE_SCHEMAS = (
+    "bench-simcore/1", "bench-simcore/2", "bench-simcore/3",
+)
 DEFAULT_OUT = REPO_ROOT / "benchmarks" / "results" / "BENCH_simcore.json"
 # Repo-root copy refreshed on full runs: the top-level perf trajectory.
 ROOT_OUT = REPO_ROOT / "BENCH_simcore.json"
@@ -86,9 +102,11 @@ ROOT_OUT = REPO_ROOT / "BENCH_simcore.json"
 # so baselines are only comparable within the same mode).
 SCALES = {
     "full": {"seed": 1, "bulk_weeks": 10, "bulk_flows": 8,
-             "incast_weeks": 16, "incast_workers": 8, "short_weeks": 20},
+             "incast_weeks": 16, "incast_workers": 8, "short_weeks": 20,
+             "engine_weeks": 40},
     "quick": {"seed": 1, "bulk_weeks": 4, "bulk_flows": 4,
-              "incast_weeks": 8, "incast_workers": 4, "short_weeks": 8},
+              "incast_weeks": 8, "incast_workers": 4, "short_weeks": 8,
+              "engine_weeks": 20},
 }
 
 
@@ -236,6 +254,73 @@ def run_shortflow_workload(scale: dict, trace_dir: pathlib.Path) -> dict:
     return row
 
 
+def run_tiered_bulk(scale: dict) -> dict:
+    """Events-equivalent speedup of the tiered fluid fast path.
+
+    The fig-7 bulk config runs once per fidelity (no telemetry on
+    either leg). Tiered delivers slightly more than packet on the same
+    horizon (no retransmission waste), so the speedup is the wall-clock
+    ratio *normalized by delivered bytes*:
+
+        speedup = (packet_wall / tiered_wall) * (tiered_delivered /
+                  packet_delivered)
+
+    i.e. packet-equivalent events per second the fluid model stands in
+    for, divided by the packet rate. A short empirical-mix engine run
+    (both fidelities) rides along as the ``engine_flows_per_sec``
+    tracker for the 10M-flow goal.
+    """
+    from repro.experiments.config import WorkloadConfig
+    from repro.experiments.runner import run_experiment
+
+    def timed(config):
+        started = perf_counter()
+        result = run_experiment(config)
+        wall = perf_counter() - started
+        if result.failure is not None:
+            raise RuntimeError(f"tiered_bulk leg failed: {result.failure.render()}")
+        return result, wall
+
+    legs = {}
+    for fidelity in ("packet", "tiered"):
+        legs[fidelity] = timed(ExperimentConfig(
+            variant="tdtcp", n_flows=scale["bulk_flows"],
+            weeks=scale["bulk_weeks"], warmup_weeks=2, seed=scale["seed"],
+            collect_voq=False, collect_sequence=False, fidelity=fidelity,
+        ))
+    packet, packet_wall = legs["packet"]
+    tiered, tiered_wall = legs["tiered"]
+    delivered_ratio = tiered.aggregate_delivered / packet.aggregate_delivered
+    speedup = (packet_wall / tiered_wall) * delivered_ratio
+    fidelity_report = tiered.fidelity_report
+
+    engine = {"weeks": scale["engine_weeks"], "cdf": "data-mining", "load": 0.6}
+    for fidelity in ("packet", "tiered"):
+        result, _wall = timed(ExperimentConfig(
+            variant="tdtcp", weeks=scale["engine_weeks"], warmup_weeks=2,
+            seed=scale["seed"], collect_voq=False, collect_sequence=False,
+            fidelity=fidelity,
+            workload=WorkloadConfig(kind="empirical", cdf="data-mining",
+                                    load=0.6, matrix="permutation"),
+        ))
+        summary = result.workload_summary or {}
+        engine[f"{fidelity}_flows_per_sec"] = summary.get("engine_flows_per_sec")
+        engine[f"{fidelity}_completed"] = summary.get("completed")
+    return {
+        "packet_wall_s": round(packet_wall, 4),
+        "tiered_wall_s": round(tiered_wall, 4),
+        "packet_delivered": packet.aggregate_delivered,
+        "tiered_delivered": tiered.aggregate_delivered,
+        "delivered_ratio": round(delivered_ratio, 4),
+        "events_equivalent_speedup": round(speedup, 2),
+        "fluid_spans": fidelity_report["fluid_spans"],
+        "fluid_time_ns": fidelity_report["fluid_time_ns"],
+        "virtual_losses": fidelity_report["virtual_losses"],
+        "exit_reasons": fidelity_report["exit_reasons"],
+        "engine": engine,
+    }
+
+
 def run_ack_micro(scale: dict) -> dict:
     """ns/ACK of the sender-side pipeline, measured in situ.
 
@@ -316,6 +401,24 @@ def run_all(mode: str) -> dict:
     report["ack_pipeline"] = run_ack_micro(scale)
     micro = report["ack_pipeline"]
     print(f"[perf-harness]   {micro['acks']:,} ACKs -> {micro['ns_per_ack']} ns/ACK", flush=True)
+    print("[perf-harness] running tiered-bulk fidelity comparison...", flush=True)
+    report["tiered_bulk"] = run_tiered_bulk(scale)
+    tiered = report["tiered_bulk"]
+    print(
+        f"[perf-harness]   packet {tiered['packet_wall_s']:.2f}s vs tiered "
+        f"{tiered['tiered_wall_s']:.2f}s, delivered ratio "
+        f"{tiered['delivered_ratio']:.3f} -> "
+        f"{tiered['events_equivalent_speedup']:.1f}x events-equivalent "
+        f"({tiered['fluid_spans']} fluid spans)",
+        flush=True,
+    )
+    engine = tiered["engine"]
+    print(
+        f"[perf-harness]   engine ({engine['cdf']} load {engine['load']}): "
+        f"{engine['packet_flows_per_sec']:,.0f} flows/s packet vs "
+        f"{engine['tiered_flows_per_sec']:,.0f} flows/s tiered",
+        flush=True,
+    )
     if resource is not None:
         report["peak_rss_kb"] = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     return report
@@ -416,6 +519,9 @@ def main(argv=None) -> int:
     parser.add_argument("--pool-hit-floor", type=float, default=None,
                         help="fail if any workload's event-pool hit rate is "
                              "below this fraction (default: no floor)")
+    parser.add_argument("--tiered-speedup-floor", type=float, default=None,
+                        help="fail if the tiered bulk events-equivalent "
+                             "speedup is below this factor (default: no floor)")
     args = parser.parse_args(argv)
 
     report = run_all("quick" if args.quick else "full")
@@ -423,6 +529,16 @@ def main(argv=None) -> int:
     if args.baseline is not None:
         baseline = json.loads(args.baseline.read_text())
         status = compare(report, baseline, args.tolerance, args.pool_hit_floor)
+    if args.tiered_speedup_floor is not None:
+        speedup = report["tiered_bulk"]["events_equivalent_speedup"]
+        if speedup < args.tiered_speedup_floor:
+            print(
+                f"[perf-harness] FAIL: tiered events-equivalent speedup "
+                f"{speedup:.1f}x below floor {args.tiered_speedup_floor:.1f}x",
+                file=sys.stderr,
+            )
+            if status == 0:
+                status = 5
 
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")

@@ -24,6 +24,7 @@ from __future__ import annotations
 import csv
 import re
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.apps.shortflows import ShortFlowRecord
@@ -51,6 +52,17 @@ SIZE_BINS: Tuple[Tuple[str, Optional[int]], ...] = (
 
 #: Documented CSV trace schema, in column order.
 TRACE_COLUMNS = ("start_ns", "src", "dst", "size_bytes")
+
+#: Wall-clock keys of :meth:`CompletionStats.summary` — host-dependent,
+#: so strip them before any determinism comparison (mirrors
+#: ``repro.obs.campaign.WALL_FIELDS``).
+WALL_SUMMARY_FIELDS = ("engine_wall_s", "engine_flows_per_sec")
+
+
+def strip_wall_fields(summary: dict) -> dict:
+    """A summary with the :data:`WALL_SUMMARY_FIELDS` removed — the
+    byte-stable digest two identical runs must agree on."""
+    return {k: v for k, v in summary.items() if k not in WALL_SUMMARY_FIELDS}
 
 _ADDRESS_RE = re.compile(r"^r(\d+)h(\d+)$")
 
@@ -236,6 +248,9 @@ class CompletionStats:
         self.completed = 0
         self.truncated_flows = 0
         self.trace_rows_skipped = 0
+        # Wall-clock run time, set by WorkloadEngine.finish(); feeds the
+        # engine_flows_per_sec throughput metric of summary().
+        self.wall_seconds: Optional[float] = None
         self.bytes_offered = 0
         self.bytes_completed = 0
         self.fct_sketch = QuantileSketch()
@@ -314,8 +329,11 @@ class CompletionStats:
         return out
 
     def summary(self, duration_ns: int, n_src_racks: int, offered_load: float) -> dict:
-        """Deterministic JSON-ready digest (no wall time, no paths)."""
-        return {
+        """JSON-ready digest. Deterministic except for the
+        :data:`WALL_SUMMARY_FIELDS` (present only when ``finish()``
+        recorded a wall clock) — use :func:`strip_wall_fields` before
+        byte-comparing two summaries."""
+        out = {
             "started": self.started,
             "completed": self.completed,
             "truncated_flows": self.truncated_flows,
@@ -332,6 +350,12 @@ class CompletionStats:
                 for label, sketch in self.slowdown_by_bin.items()
             },
         }
+        if self.wall_seconds is not None:
+            out["engine_wall_s"] = self.wall_seconds
+            out["engine_flows_per_sec"] = (
+                self.completed / self.wall_seconds if self.wall_seconds > 0 else 0.0
+            )
+        return out
 
 
 # ----------------------------------------------------------------------
@@ -430,7 +454,12 @@ class WorkloadEngine:
         self._tp_report = telemetry.tracepoint("workload:load_report")
         self._running = False
         self._start_ns = 0
+        self._wall_start: Optional[float] = None
         self._next_port = 30_000
+        # Tiered fidelity (repro.sim.fastpath): set by the runner on
+        # tiered runs; every launched pair is registered so arrivals
+        # interrupt fluid spans and steady groups can re-enter them.
+        self.fastpath = None
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -439,6 +468,7 @@ class WorkloadEngine:
             return
         self._running = True
         self._start_ns = self.sim.now
+        self._wall_start = perf_counter()
         if self.trace is not None:
             for flow in self.trace:
                 if self.max_flows is not None and self.stats.started >= self.max_flows:
@@ -461,6 +491,8 @@ class WorkloadEngine:
         """Close the books at the horizon: stop arrivals, count open
         flows as truncated, emit the load report tracepoint."""
         self.stop()
+        if self._wall_start is not None:
+            self.stats.wall_seconds = perf_counter() - self._wall_start
         self.stats.finalize()
         if self._tp_report.enabled:
             duration = max(self.sim.now - self._start_ns, 1)
@@ -545,9 +577,16 @@ class WorkloadEngine:
 
         client.on_established = on_established
         server.on_delivered = on_delivered
+        if self.fastpath is not None:
+            # Register before the handshake: the arrival interrupts any
+            # live fluid span on this direction, and the pair becomes a
+            # candidate for the group's next span.
+            self.fastpath.register_flow(client, server)
         client.connect()
 
     def _cleanup(self, client: TCPConnection, server: TCPConnection) -> None:
+        if self.fastpath is not None:
+            self.fastpath.unregister_flow(client)
         for conn in (client, server):
             conn.host.unregister_connection(conn.flow_key)
             conn.rto_timer.cancel()

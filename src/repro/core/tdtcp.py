@@ -197,6 +197,11 @@ class TDTCPConnection(TCPConnection):
         return max(int(srtt / max(path.cc.cwnd, 1.0)), 200)
 
     def _maybe_send(self) -> None:
+        if self._fluid_hold:
+            # Tiered fidelity: the fluid model owns the transfer. Gating
+            # here (not just in the base class) also keeps the pace
+            # timer from re-arming through the paced branch below.
+            return
         if not self.switch_pacing or self.sim.now >= self._pace_until_ns:
             self._pace_timer.cancel()
             super()._maybe_send()

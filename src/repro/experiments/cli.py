@@ -32,6 +32,7 @@ from repro.experiments.executor import (
 from repro.obs.campaign import CampaignLog, LiveCampaignView
 from repro.obs.telemetry import ObsConfig
 from repro.experiments.report import (
+    fct_cdf_to_csv,
     figure_to_csv,
     load_sweep_to_csv,
     render_cdf_summary,
@@ -77,6 +78,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--warmup", type=int, default=8, help="warm-up weeks excluded from averages")
     parser.add_argument("--flows", type=int, default=8, help="parallel cross-rack flows")
     parser.add_argument("--seed", type=int, default=1, help="simulation seed")
+    parser.add_argument(
+        "--fidelity", choices=("packet", "tiered"), default="packet",
+        help="simulation fidelity: 'packet' (exact, default) or 'tiered' "
+             "(fluid fast path for steady in-slot transfer; unsupported "
+             "runs fall back to packet with a logged reason)",
+    )
     parser.add_argument("--csv", metavar="DIR", default=None, help="also write series as CSV files")
     parser.add_argument(
         "--jobs", type=int, default=1,
@@ -200,6 +207,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of arrivals redirected to the hotspot pair (matrix=hotspot)",
     )
     parser.add_argument(
+        "--cdf-out", metavar="DIR", default=None,
+        help="sweep-load: also write per-(load, variant) FCT and slowdown "
+             "CDF curves decoded from the runs' DDSketch states",
+    )
+    parser.add_argument(
         "--record-cap", type=int, default=0,
         help="per-flow record reservoir size (default: 0 = streaming only)",
     )
@@ -317,6 +329,7 @@ def run_figure(name: str, args) -> int:
         weeks=args.weeks, warmup_weeks=args.warmup, n_flows=args.flows, seed=args.seed,
         obs=obs_config_from_args(args), executor=executor,
         rdcn_override=buffer_override_from_args(args),
+        fidelity=args.fidelity,
     )
     sections = [render_throughput_summary(data)]
     if data.seq_curves:
@@ -611,11 +624,17 @@ def run_sweep_load(args) -> int:
         watchdog_max_events=args.watchdog_events,
         watchdog_max_wall_s=args.watchdog_wall,
         obs=obs_config_from_args(args),
+        fidelity=args.fidelity,
     )
     print(result.render())
     if args.csv:
         written = load_sweep_to_csv(result, args.csv)
         print("CSV written:\n  " + "\n  ".join(written))
+    if args.cdf_out:
+        written = []
+        for family in ("fct_us", "slowdown"):
+            written.extend(fct_cdf_to_csv(result, args.cdf_out, sketch=family))
+        print("CDF CSV written:\n  " + "\n  ".join(written))
     print(f"executor: {executor.last_batch.render()}")
     if executor.resume is not None:
         print(f"resume: {executor.last_replayed} replayed, "

@@ -15,7 +15,15 @@ from typing import Optional
 #: v3: ExperimentConfig grew the nested WorkloadConfig (workload-engine
 #: runs) and the empirical-workload mean/rounding fixes changed what a
 #: load value simulates.
-CONFIG_SCHEMA_VERSION = 3
+#: v4: ExperimentConfig grew ``fidelity`` ("packet" | "tiered"): the
+#: tiered fluid fast path changes what a run computes, so the mode is
+#: part of the semantic cache key.
+CONFIG_SCHEMA_VERSION = 4
+
+#: Run fidelity modes: "packet" is the exact event-per-segment core;
+#: "tiered" opts into the slot-level fluid fast path (repro.sim.fastpath)
+#: with packet-level fallback at fidelity triggers.
+FIDELITY_MODES = ("packet", "tiered")
 
 from repro.faults.audit import AUDIT_MODES
 from repro.faults.plan import FaultPlan
@@ -141,6 +149,11 @@ class ExperimentConfig:
     collect_voq: bool = True
     collect_sequence: bool = True
     seed: int = 1
+    # Simulation fidelity: "packet" (exact, default) or "tiered" (fluid
+    # fast path between fidelity triggers; see repro.sim.fastpath).
+    # Semantic — two runs differing only here may produce different
+    # traces, so it participates in cache_key().
+    fidelity: str = "packet"
     # Telemetry (tracepoints / metrics / profiling); None disables —
     # the probe sites then cost one attribute check each.
     obs: Optional[ObsConfig] = None
@@ -164,6 +177,10 @@ class ExperimentConfig:
     def __post_init__(self) -> None:
         if self.weeks <= self.warmup_weeks:
             raise ValueError("weeks must exceed warmup_weeks")
+        if self.fidelity not in FIDELITY_MODES:
+            raise ValueError(
+                f"fidelity must be one of {FIDELITY_MODES}, got {self.fidelity!r}"
+            )
         if self.audit is not None and self.audit not in AUDIT_MODES:
             raise ValueError(f"audit must be None or one of {AUDIT_MODES}")
         if self.fault_plan is None and self.fault_plan_path is not None:

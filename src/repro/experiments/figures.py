@@ -119,6 +119,7 @@ def run_figure(
     use_cache: bool = True,
     retries: int = 1,
     rdcn_override: Optional[Callable[[RDCNConfig], RDCNConfig]] = None,
+    fidelity: str = "packet",
 ) -> FigureData:
     """Generic driver: run every variant on one RDCN configuration.
 
@@ -137,7 +138,12 @@ def run_figure(
     ``rdcn_override`` (an ``RDCNConfig -> RDCNConfig`` transform) is
     applied to the figure's canned setting before running — the CLI's
     ``--buffer-policy``/``--buffer-total``/``--buffer-alpha`` flags ride
-    in this way without each figure knowing about them."""
+    in this way without each figure knowing about them.
+
+    ``fidelity="tiered"`` runs every variant through the fluid fast
+    path (``repro.sim.fastpath``); variants or settings the fluid model
+    cannot represent fall back to packet fidelity per-run with a logged
+    reason (the decision lands on each result's ``fidelity_report``)."""
     if rdcn_override is not None:
         rdcn = rdcn_override(rdcn)
     data = FigureData(name=name, rdcn=rdcn, weeks_plotted=weeks_plotted)
@@ -149,6 +155,7 @@ def run_figure(
             weeks=weeks,
             warmup_weeks=warmup_weeks,
             seed=seed,
+            fidelity=fidelity,
             obs=obs.for_run(f"{name}_{variant}") if obs is not None else None,
         )
         for variant in variants
@@ -213,12 +220,14 @@ def fig2(
     obs: Optional[ObsConfig] = None,
     executor: Optional[ExperimentExecutor] = None,
     rdcn_override: Optional[Callable[[RDCNConfig], RDCNConfig]] = None,
+    fidelity: str = "packet",
 ) -> FigureData:
     """Figure 2: motivation sequence graph (CUBIC, MPTCP vs optimal and
     packet-only) over three optical weeks."""
     return run_figure(
         "fig2", bw_latency_rdcn(), MOTIVATION_VARIANTS, weeks, warmup_weeks, n_flows,
         seed=seed, obs=obs, executor=executor, rdcn_override=rdcn_override,
+        fidelity=fidelity,
     )
 
 
@@ -227,6 +236,7 @@ def fig7(
     obs: Optional[ObsConfig] = None,
     executor: Optional[ExperimentExecutor] = None,
     rdcn_override: Optional[Callable[[RDCNConfig], RDCNConfig]] = None,
+    fidelity: str = "packet",
 ) -> FigureData:
     """Figure 7: all variants under bandwidth AND latency differences.
 
@@ -235,6 +245,7 @@ def fig7(
     return run_figure(
         "fig7", bw_latency_rdcn(), FULL_VARIANTS, weeks, warmup_weeks, n_flows,
         seed=seed, obs=obs, executor=executor, rdcn_override=rdcn_override,
+        fidelity=fidelity,
     )
 
 
@@ -243,11 +254,13 @@ def fig8(
     obs: Optional[ObsConfig] = None,
     executor: Optional[ExperimentExecutor] = None,
     rdcn_override: Optional[Callable[[RDCNConfig], RDCNConfig]] = None,
+    fidelity: str = "packet",
 ) -> FigureData:
     """Figure 8: bandwidth difference only."""
     return run_figure(
         "fig8", bw_only_rdcn(), FULL_VARIANTS, weeks, warmup_weeks, n_flows,
         seed=seed, obs=obs, executor=executor, rdcn_override=rdcn_override,
+        fidelity=fidelity,
     )
 
 
@@ -256,11 +269,13 @@ def fig9(
     obs: Optional[ObsConfig] = None,
     executor: Optional[ExperimentExecutor] = None,
     rdcn_override: Optional[Callable[[RDCNConfig], RDCNConfig]] = None,
+    fidelity: str = "packet",
 ) -> FigureData:
     """Figure 9: latency difference only at 100 Gbps."""
     return run_figure(
         "fig9", latency_only_rdcn(100.0), FULL_VARIANTS, weeks, warmup_weeks, n_flows,
         seed=seed, obs=obs, executor=executor, rdcn_override=rdcn_override,
+        fidelity=fidelity,
     )
 
 
@@ -269,12 +284,14 @@ def fig10(
     obs: Optional[ObsConfig] = None,
     executor: Optional[ExperimentExecutor] = None,
     rdcn_override: Optional[Callable[[RDCNConfig], RDCNConfig]] = None,
+    fidelity: str = "packet",
 ) -> FigureData:
     """Figure 10: CDFs of reordering events and retransmitted packets
     per optical day for CUBIC, MPTCP, and TDTCP."""
     data = run_figure(
         "fig10", bw_latency_rdcn(), REORDERING_VARIANTS, weeks, warmup_weeks, n_flows,
         seed=seed, obs=obs, executor=executor, rdcn_override=rdcn_override,
+        fidelity=fidelity,
     )
     for variant, result in data.results.items():
         data.reordering_cdfs[variant] = empirical_cdf(result.reordering_per_day)
@@ -287,6 +304,7 @@ def fig11(
     obs: Optional[ObsConfig] = None,
     executor: Optional[ExperimentExecutor] = None,
     rdcn_override: Optional[Callable[[RDCNConfig], RDCNConfig]] = None,
+    fidelity: str = "packet",
 ) -> FigureData:
     """Figure 11: TDTCP with and without the §5.4 notification
     optimizations."""
@@ -301,6 +319,7 @@ def fig11(
         obs=obs,
         executor=executor,
         rdcn_override=rdcn_override,
+        fidelity=fidelity,
     )
 
 
@@ -309,12 +328,14 @@ def fig13(
     obs: Optional[ObsConfig] = None,
     executor: Optional[ExperimentExecutor] = None,
     rdcn_override: Optional[Callable[[RDCNConfig], RDCNConfig]] = None,
+    fidelity: str = "packet",
 ) -> FigureData:
     """Figure 13 (Appendix A.3): VOQ occupancy of CUBIC and MPTCP in the
     Figure-2 configuration."""
     return run_figure(
         "fig13", bw_latency_rdcn(), MOTIVATION_VARIANTS, weeks, warmup_weeks, n_flows,
         seed=seed, obs=obs, executor=executor, rdcn_override=rdcn_override,
+        fidelity=fidelity,
     )
 
 
@@ -340,6 +361,7 @@ def fig_buffer(
     obs: Optional[ObsConfig] = None,
     executor: Optional[ExperimentExecutor] = None,
     rdcn_override: Optional[Callable[[RDCNConfig], RDCNConfig]] = None,
+    fidelity: str = "packet",
 ) -> FigureData:
     """One buffer-economics panel: sequence/VOQ curves of the buffer
     variants with ``total`` packets of ToR memory under ``policy``.
@@ -362,6 +384,7 @@ def fig_buffer(
         obs=obs,
         executor=executor,
         rdcn_override=rdcn_override,
+        fidelity=fidelity,
     )
 
 
@@ -374,6 +397,7 @@ def buffer_figure_family(
     obs: Optional[ObsConfig] = None,
     executor: Optional[ExperimentExecutor] = None,
     rdcn_override: Optional[Callable[[RDCNConfig], RDCNConfig]] = None,
+    fidelity: str = "packet",
 ) -> Dict[str, FigureData]:
     """The buffer-economics figure family: a panel per (total buffer x
     sharing policy) point, keyed by the panel name."""
@@ -383,6 +407,7 @@ def buffer_figure_family(
             data = fig_buffer(
                 total, policy, alpha, variants, weeks, warmup_weeks, n_flows,
                 seed=seed, obs=obs, executor=executor, rdcn_override=rdcn_override,
+                fidelity=fidelity,
             )
             family[data.name] = data
     return family
@@ -423,6 +448,7 @@ def fig_fct_slowdown(
     obs: Optional[ObsConfig] = None,
     executor: Optional[ExperimentExecutor] = None,
     percentile_labels: Sequence[str] = ("p50", "p99"),
+    fidelity: str = "packet",
 ) -> SlowdownFigure:
     """FCT-slowdown curves per (variant x offered load).
 
@@ -439,7 +465,7 @@ def fig_fct_slowdown(
         loads=loads, variants=variants, cdf=cdf, matrix=matrix,
         hotspot_fraction=hotspot_fraction,
         weeks=weeks, warmup_weeks=warmup_weeks, seed=seed,
-        executor=executor, obs=obs,
+        executor=executor, obs=obs, fidelity=fidelity,
     )
     data = SlowdownFigure(
         name="fig-fct-slowdown",
@@ -495,11 +521,97 @@ def _bin_percentile(point, bin_label: str, label: str) -> float:
     return float("nan") if value is None else value
 
 
+@dataclass
+class FctCdfFigure:
+    """Per-(load x variant) FCT CDF curves decoded from the workload
+    engine's serialized DDSketch families.
+
+    ``curves[(load, variant)]`` is ``(values, cumulative_probability)``
+    — one point per occupied sketch bucket, so the curve stays within
+    relative error ``alpha`` of the exact empirical CDF at constant
+    memory however many flows the cell completed.
+    """
+
+    name: str
+    loads: Tuple[float, ...]
+    variants: Tuple[str, ...]
+    sketch: str
+    curves: Dict[Tuple[float, str], Tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
+    sweep: Optional[object] = None  # the underlying LoadSweepResult
+    failures: Dict[str, RunFailure] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def fig_fct_cdf(
+    loads: Sequence[float] = (0.2, 0.4, 0.6),
+    variants: Sequence[str] = ("cubic", "tdtcp"),
+    cdf: str = "web-search",
+    matrix: str = "permutation",
+    hotspot_fraction: float = 0.5,
+    weeks: int = 24, warmup_weeks: int = 8, seed: int = 1,
+    obs: Optional[ObsConfig] = None,
+    executor: Optional[ExperimentExecutor] = None,
+    fidelity: str = "packet",
+    sketch: str = "fct_us",
+    sweep=None,
+) -> FctCdfFigure:
+    """FCT CDF curves per (variant x offered load).
+
+    Each curve is decoded straight from the run's merge-ready
+    :class:`~repro.obs.sketch.QuantileSketch` state (``sketch`` selects
+    the family — ``fct_us`` by default, ``slowdown`` also works), so a
+    10M-flow tiered campaign and an 8-flow smoke run cost the same to
+    plot. Pass ``sweep`` (an existing
+    :class:`~repro.experiments.sweeps.LoadSweepResult`) to decode
+    curves without re-running anything — the CLI's
+    ``sweep-load --cdf-out`` takes that path.
+    """
+    from repro.experiments.sweeps import load_sweep
+    from repro.obs.sketch import QuantileSketch
+
+    if sweep is None:
+        sweep = load_sweep(
+            loads=loads, variants=variants, cdf=cdf, matrix=matrix,
+            hotspot_fraction=hotspot_fraction,
+            weeks=weeks, warmup_weeks=warmup_weeks, seed=seed,
+            executor=executor, obs=obs, fidelity=fidelity,
+        )
+    else:
+        loads = sorted({p.load for p in sweep.points})
+        variants = sorted({p.variant for p in sweep.points})
+    data = FctCdfFigure(
+        name="fig-fct-cdf",
+        loads=tuple(loads),
+        variants=tuple(variants),
+        sketch=sketch,
+        sweep=sweep,
+    )
+    for point in sweep.points:
+        if not point.ok:
+            data.failures[f"{point.load:.2f}/{point.variant}"] = point.failure
+            continue
+        state = point.sketches.get(sketch)
+        if not state:
+            continue
+        points = QuantileSketch.from_dict(state).cdf_points()
+        if not points:
+            continue
+        data.curves[(point.load, point.variant)] = (
+            np.asarray([value for value, _p in points], dtype=float),
+            np.asarray([prob for _v, prob in points], dtype=float),
+        )
+    return data
+
+
 def fig14(
     rate_gbps: float, weeks: int = 40, warmup_weeks: int = 12, n_flows: int = 8, seed: int = 1,
     obs: Optional[ObsConfig] = None,
     executor: Optional[ExperimentExecutor] = None,
     rdcn_override: Optional[Callable[[RDCNConfig], RDCNConfig]] = None,
+    fidelity: str = "packet",
 ) -> FigureData:
     """Figure 14 (Appendix A.4): VOQ occupancy, latency-only RDCN at a
     fixed rate (the paper shows 10 and 100 Gbps panels)."""
@@ -514,4 +626,5 @@ def fig14(
         obs=obs,
         executor=executor,
         rdcn_override=rdcn_override,
+        fidelity=fidelity,
     )

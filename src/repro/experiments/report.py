@@ -260,6 +260,37 @@ def load_sweep_to_csv(result, directory) -> List[str]:
     return [str(path)]
 
 
+def fct_cdf_to_csv(result, directory, sketch: str = "fct_us") -> List[str]:
+    """Write a :class:`LoadSweepResult`'s FCT CDFs as one long-format
+    CSV: ``(load, variant, value, cum_probability)`` rows decoded from
+    each cell's serialized DDSketch state via
+    :meth:`QuantileSketch.cdf_points` — one row per occupied bucket,
+    within relative error ``alpha`` of the exact empirical CDF at
+    constant memory. Failed cells and cells without the family are
+    skipped (their absence marks them); returns the paths written."""
+    import csv
+    import pathlib
+
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result.name}_{sketch}_cdf.csv"
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["load", "variant", "value", "cum_probability"])
+        for point in result.points:
+            if not point.ok:
+                continue
+            state = point.sketches.get(sketch)
+            if not state:
+                continue
+            for value, prob in QuantileSketch.from_dict(state).cdf_points():
+                writer.writerow(
+                    [f"{point.load:.4f}", point.variant,
+                     f"{value:.6g}", f"{prob:.6g}"]
+                )
+    return [str(path)]
+
+
 def headline_claims(data: FigureData) -> Dict[str, float]:
     """The abstract's numbers from a Figure-7 run: TDTCP vs CUBIC/DCTCP
     (paper: +24%), vs MPTCP (paper: +41%), vs reTCP-dyn (paper: parity)."""

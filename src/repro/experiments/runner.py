@@ -3,6 +3,8 @@ the figures need."""
 
 from __future__ import annotations
 
+import logging
+
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -17,8 +19,11 @@ from repro.obs.sketch import sketch_from_samples
 from repro.obs.telemetry import Telemetry
 from repro.rdcn.config import NotifierConfig
 from repro.rdcn.topology import TwoRackTestbed, build_two_rack_testbed
+from repro.sim.fastpath import FLUID_VARIANTS, FluidFastPath, forced_packet_report
 from repro.sim.simulator import Simulator
 from repro.units import throughput_gbps
+
+logger = logging.getLogger(__name__)
 
 
 # Process-wide heartbeat hook installed by the executor (directly for
@@ -128,6 +133,10 @@ class ExperimentResult:
     failure: Optional[RunFailure] = None
     fault_report: Optional[dict] = None
     audit_report: Optional[dict] = None
+    # Tiered-fidelity accounting (config.fidelity == "tiered"): the
+    # effective mode, forced-packet reasons (if any), and fluid-span
+    # counters. None on plain packet runs.
+    fidelity_report: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -181,6 +190,7 @@ class ExperimentResult:
             "failure": self.failure.to_dict() if self.failure is not None else None,
             "fault_report": self.fault_report,
             "audit_report": self.audit_report,
+            "fidelity_report": self.fidelity_report,
         }
 
     @classmethod
@@ -242,6 +252,25 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     if variant.unoptimized_notifier:
         rdcn = replace(rdcn, notifier=NotifierConfig.unoptimized())
     rdcn = replace(rdcn, seed=config.seed)
+
+    # Tiered fidelity: scenarios the fluid model cannot represent run at
+    # packet fidelity instead, with the reasons logged and reported.
+    fastpath: Optional[FluidFastPath] = None
+    forced_reasons: List[str] = []
+    if config.fidelity == "tiered":
+        if config.fault_plan is not None and len(config.fault_plan) > 0:
+            forced_reasons.append("fault_plan")
+        if config.audit == "fail":
+            forced_reasons.append("audit_fail")
+        if config.background_load > 0.0:
+            forced_reasons.append("background_load")
+        if config.variant not in FLUID_VARIANTS:
+            forced_reasons.append(f"variant:{config.variant}")
+        if forced_reasons:
+            logger.info(
+                "tiered fidelity unsupported for this run; forcing packet (%s)",
+                ", ".join(forced_reasons),
+            )
 
     # Telemetry attaches to the simulator before anything instrumented
     # is constructed (tracepoints are fetched at construction time).
@@ -328,6 +357,24 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     if config.collect_voq:
         voq_collector = QueueOccupancyCollector(testbed.sim, testbed.uplinks[0].queue)
 
+    if config.fidelity == "tiered" and not forced_reasons:
+        occupancy_hook = None
+        if voq_collector is not None:
+            # Fluid spans bypass the real VOQ; feed the collector the
+            # model's per-round occupancy at historical timestamps.
+            samples = voq_collector.samples
+
+            def occupancy_hook(time_ns: int, depth: int) -> None:
+                samples.append((time_ns, depth))
+        fastpath = FluidFastPath(
+            testbed, config.duration_ns, occupancy_hook=occupancy_hook
+        )
+        if engine is not None:
+            engine.fastpath = fastpath
+        elif workload is not None:
+            for flow in workload.flows:
+                fastpath.register_flow(flow.sender, flow.receiver)
+
     if config.background_load > 0.0:
         # Cross traffic between the last host pair, sharing the fabric
         # with the measured flows (§2.1's within-TDN oscillation).
@@ -357,6 +404,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
 
     try:
         testbed.start()
+        if fastpath is not None:
+            fastpath.start()
         if auditor is not None:
             auditor.start()
         run_with_watchdog(
@@ -394,6 +443,12 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             result.fault_report = injector.report()
         if auditor is not None:
             result.audit_report = auditor.report()
+        if config.fidelity == "tiered":
+            result.fidelity_report = (
+                fastpath.finish_report(False, forced_reasons)
+                if fastpath is not None
+                else forced_packet_report(forced_reasons)
+            )
         if telemetry is not None:
             # Failed runs keep the full telemetry story: artifacts AND
             # the profile the success path records, so a crash is
@@ -408,6 +463,12 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         result.fault_report = injector.report()
     if auditor is not None:
         result.audit_report = auditor.report()
+    if config.fidelity == "tiered":
+        result.fidelity_report = (
+            fastpath.finish_report(False, forced_reasons)
+            if fastpath is not None
+            else forced_packet_report(forced_reasons)
+        )
     if engine is not None:
         stats = engine.finish()
         result.workload_summary = stats.summary(

@@ -257,6 +257,7 @@ def load_sweep(
     watchdog_max_events: Optional[int] = None,
     watchdog_max_wall_s: Optional[float] = None,
     obs=None,
+    fidelity: str = "packet",
 ) -> LoadSweepResult:
     """Offered load x variant grid through the workload engine.
 
@@ -264,7 +265,10 @@ def load_sweep(
     the two-rack fabric); FCT/slowdown percentiles come from the run's
     streaming sketches, so memory stays flat however many flows a cell
     launches. Per-flow records stay off unless ``record_cap`` asks for
-    a reservoir.
+    a reservoir. ``fidelity="tiered"`` runs every cell through the
+    fluid fast path (``repro.sim.fastpath``) — cells whose variant or
+    setting the fluid model cannot represent fall back to packet
+    fidelity per-run with a logged reason.
     """
     grid = [(load, variant) for load in loads for variant in variants]
     configs = [
@@ -278,6 +282,7 @@ def load_sweep(
             watchdog_max_wall_s=watchdog_max_wall_s,
             collect_voq=False,
             collect_sequence=False,
+            fidelity=fidelity,
             obs=obs.for_run(f"load_{load:.2f}_{variant}") if obs is not None else None,
             workload=WorkloadConfig(
                 kind="empirical",

@@ -269,6 +269,30 @@ class QuantileSketch:
         """The standard snapshot percentiles (p50/p90/p99/p999)."""
         return {label: self.quantile(q) for label, q in PERCENTILE_LABELS}
 
+    def cdf_points(self) -> List[Tuple[float, float]]:
+        """The sketch's empirical CDF as ``(value, P[X <= value])``
+        pairs, one per occupied bucket in increasing value order.
+
+        Values are bucket representatives (geometric midpoints), so each
+        point is within relative error ``alpha`` of the exact curve; the
+        zero bucket contributes a leading ``(0.0, p)`` step. Empty
+        sketch -> empty list. The walk is over sorted integer bucket
+        indices with integer cumulative counts, so the same state always
+        yields the same points (merge-order independent).
+        """
+        total = self.count
+        if total == 0:
+            return []
+        points: List[Tuple[float, float]] = []
+        cumulative = 0
+        if self.zero_count:
+            cumulative += self.zero_count
+            points.append((0.0, cumulative / total))
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            points.append((self.bucket_value(index), cumulative / total))
+        return points
+
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field, fields
 from typing import Optional, Tuple
 
 from repro.net.queues import BUFFER_POLICIES
-from repro.units import gbps, usec
+from repro.units import SEC, gbps, usec
 
 
 @dataclass
@@ -181,6 +181,18 @@ class RDCNConfig:
 
     def tdn_one_way_ns(self, tdn_id: int) -> int:
         return self.packet_one_way_ns if tdn_id == 0 else self.optical_one_way_ns
+
+    def nominal_rtt_ns(self, tdn_id: int) -> int:
+        """Queue-free base RTT of a host-to-host path through ``tdn_id``:
+        propagation out and back (two host links plus the fabric hop each
+        way) plus one MSS serialization on the host link and one on the
+        fabric uplink. This is the fluid fast path's round-trip clock —
+        queueing delay is added on top explicitly, so using a measured
+        srtt here would double-count it."""
+        prop = 2 * (2 * self.host_link_delay_ns + self.tdn_one_way_ns(tdn_id))
+        host_ser = self.mss * 8 * SEC / self.host_link_rate_bps
+        fabric_ser = self.mss * 8 * SEC / self.tdn_rate_bps(tdn_id)
+        return int(prop + host_ser + fabric_ser)
 
     def to_dict(self) -> dict:
         """Canonical JSON-ready view; tuples become lists, the nested

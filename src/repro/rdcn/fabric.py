@@ -152,6 +152,18 @@ class RackUplink:
         sim = self.sim
         sim._queue.push_pooled(sim.now + tx_delay, self._tx_done, (packet, path))
 
+    # ------------------------------------------------------------------
+    # Tiered-fidelity queries (repro.sim.fastpath)
+    # ------------------------------------------------------------------
+    def rate_for_tdn(self, tdn_id: int) -> float:
+        """Serialization rate the VOQ drains at while ``tdn_id`` is up."""
+        return self.paths[tdn_id].rate_bps
+
+    def is_idle(self) -> bool:
+        """True when nothing is queued or mid-serialization — the VOQ
+        state a fluid span may start from (and re-materializes to)."""
+        return not self._busy and not self.queue._fifo
+
     def _tx_done(self, packet: Packet, path: NetworkPath) -> None:
         # The packet is on the wire: it arrives even if a night started
         # mid-serialization. Delivery rides the channel of the path

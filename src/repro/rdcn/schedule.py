@@ -87,6 +87,41 @@ class TDNSchedule:
                 return None
         return None
 
+    def segment_at(self, time_ns: int) -> Tuple[int, int, Optional[int]]:
+        """The schedule segment containing absolute time ``time_ns``:
+        ``(abs_start_ns, abs_end_ns, tdn_id)`` with ``tdn_id`` None
+        during a night. The end is exclusive — the next segment starts
+        exactly there. Used by the tiered fluid fast path to bound
+        analytic integration to a constant-rate interval."""
+        if time_ns < 0:
+            raise ValueError("time must be non-negative")
+        week_base = (time_ns // self.week_ns) * self.week_ns
+        phase = time_ns - week_base
+        for offset, day in zip(self._offsets, self.days):
+            day_end = offset + day.duration_ns
+            if phase < day_end:
+                return (week_base + offset, week_base + day_end, day.tdn_id)
+            if phase < day_end + day.night_ns:
+                return (
+                    week_base + day_end,
+                    week_base + day_end + day.night_ns,
+                    None,
+                )
+        raise AssertionError("phase outside week")  # pragma: no cover
+
+    def segments_between(
+        self, start_ns: int, end_ns: int
+    ) -> List[Tuple[int, int, Optional[int]]]:
+        """Constant-rate segments covering ``[start_ns, end_ns)``, each
+        clipped to the interval: ``(abs_start, abs_end, tdn_id|None)``."""
+        out: List[Tuple[int, int, Optional[int]]] = []
+        t = start_ns
+        while t < end_ns:
+            seg_start, seg_end, tdn = self.segment_at(t)
+            out.append((max(seg_start, start_ns), min(seg_end, end_ns), tdn))
+            t = seg_end
+        return out
+
     def day_starts_in_week(self, tdn_id: Optional[int] = None) -> List[int]:
         """Phase offsets (within one week) at which days start; filter by
         TDN id when given."""

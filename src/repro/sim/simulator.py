@@ -40,6 +40,7 @@ class Simulator:
     __slots__ = (
         "now", "_queue", "_running", "_event_count", "profiler", "telemetry",
         "_hb_fn", "_hb_every", "_hb_next", "_hb_last_events", "_hb_last_wall",
+        "fluid_spans", "fluid_time_ns",
     )
 
     def __init__(self) -> None:
@@ -49,6 +50,11 @@ class Simulator:
         self._event_count = 0
         self.profiler: Optional[Any] = None
         self.telemetry: Optional[Any] = None
+        # Tiered-fidelity accounting (repro.sim.fastpath): number of
+        # fluid spans entered and total simulated time covered by them.
+        # Zero on packet-fidelity runs.
+        self.fluid_spans: int = 0
+        self.fluid_time_ns: int = 0
         self._hb_fn: Optional[Callable[[int, int, float, int], None]] = None
         self._hb_every: int = 0
         self._hb_next: int = 1 << 62
@@ -321,4 +327,6 @@ class Simulator:
         stats = self._queue.stats()
         stats["processed_events"] = self._event_count
         stats["pending_events"] = len(self._queue)
+        stats["fluid_spans"] = self.fluid_spans
+        stats["fluid_time_ns"] = self.fluid_time_ns
         return stats

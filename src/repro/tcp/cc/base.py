@@ -7,6 +7,7 @@ everything else (pipe accounting, state machine, retransmissions).
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, Optional, Protocol
 
 INFINITE_SSTHRESH = float("inf")
@@ -53,6 +54,34 @@ class CongestionControl:
         """Retransmission timeout: collapse the window."""
         self.ssthresh = max(self.cwnd / 2.0, self.min_cwnd)
         self.cwnd = 1.0
+
+    def fluid_advance(self, now_ns: int, dt_ns: int, rtt_ns: int) -> None:
+        """Closed-form window growth over ``dt_ns`` of loss-free steady
+        transfer (the tiered fluid fast path; see repro.sim.fastpath).
+
+        ``now_ns`` is the *virtual* time at the start of the interval —
+        it may lag the wall simulator clock while a fluid span is being
+        integrated. The base model is Reno-like: doubling per RTT in
+        slow start (with exact handoff at ssthresh), then one MSS per
+        RTT in congestion avoidance. Subclasses with richer avoidance
+        dynamics (CUBIC) override this.
+        """
+        if dt_ns <= 0 or rtt_ns <= 0:
+            return
+        rounds = dt_ns / rtt_ns
+        if self.cwnd < self.ssthresh:
+            # Slow start: cwnd doubles each RTT until ssthresh.
+            grown = self.cwnd * (2.0 ** rounds)
+            if grown <= self.ssthresh:
+                self.cwnd = grown
+                return
+            # Exact handoff: spend only the rounds needed to reach
+            # ssthresh in slow start, the remainder in avoidance.
+            used = math.log2(self.ssthresh / self.cwnd)
+            self.cwnd = self.ssthresh
+            rounds -= used
+        # Congestion avoidance: +1 MSS per RTT.
+        self.cwnd += rounds
 
     def snapshot(self) -> dict:
         """Loggable view of the internal state."""

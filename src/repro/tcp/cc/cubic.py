@@ -8,6 +8,7 @@ and inside every TDN of TDTCP.
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 from repro.tcp.cc.base import (
@@ -121,6 +122,46 @@ class CubicCC(CongestionControl):
         self.epoch_start_ns = None
         self.w_max = max(self.w_max, self.cwnd)
         self._avoidance_credit = 0.0
+
+    def fluid_advance(self, now_ns: int, dt_ns: int, rtt_ns: int) -> None:
+        """Closed-form CUBIC growth over ``dt_ns`` of loss-free transfer.
+
+        Evaluates ``W(t) = C*(t-K)^3 + W_max`` at the end of the interval
+        directly against the fluid epoch clock (``now_ns`` is virtual
+        time, not ``self.clock``) and applies the RFC 8312 TCP-friendly
+        Reno floor accrued over ``dt_ns / rtt_ns`` rounds. At the paper's
+        sub-millisecond timescales the Reno floor dominates (K is
+        seconds-scale), matching the packet-mode per-ACK updates.
+        """
+        if dt_ns <= 0 or rtt_ns <= 0:
+            return
+        rounds = dt_ns / rtt_ns
+        cwnd = self.cwnd
+        ssthresh = self.ssthresh
+        if cwnd < ssthresh:
+            if ssthresh == INFINITE_SSTHRESH:
+                self.cwnd = cwnd * (2.0 ** rounds)
+                return
+            grown = cwnd * (2.0 ** rounds)
+            if grown <= ssthresh:
+                self.cwnd = grown
+                return
+            # Exact handoff at ssthresh, remainder in the cubic region.
+            rounds -= math.log2(ssthresh / cwnd)
+            cwnd = ssthresh
+            self.cwnd = cwnd
+        if self.epoch_start_ns is None:
+            self._begin_epoch(now_ns)
+        end_ns = now_ns + dt_ns
+        target = self._cubic_target(end_ns)
+        # Reno-emulation floor: _RENO_GAIN MSS per RTT's worth of ACKs.
+        self._tcp_cwnd += self._RENO_GAIN * rounds
+        if self._tcp_cwnd > target:
+            target = self._tcp_cwnd
+        # The fluid span has no per-ACK pacing to smooth toward the
+        # target, so take it directly (monotone — never shrink).
+        if target > cwnd:
+            self.cwnd = target
 
     def snapshot(self) -> dict:
         data = super().snapshot()

@@ -235,6 +235,10 @@ class TCPConnection:
         # once past their sequence range.
         self.segments: Dict[int, SegmentState] = {}
         self._retx_pending: List[int] = []  # seqs marked lost awaiting retransmit
+        # Tiered fidelity (repro.sim.fastpath): while True the fluid
+        # model owns this connection's transfer and the send machinery
+        # must stay quiescent — _maybe_send becomes a no-op.
+        self._fluid_hold = False
 
         self.send_buffer = SendBuffer(
             capacity_bytes=self.config.send_buffer_packets * self.config.mss
@@ -1071,6 +1075,8 @@ class TCPConnection:
     # Send path
     # ------------------------------------------------------------------
     def _maybe_send(self) -> None:
+        if self._fluid_hold:
+            return
         if self.state not in (ESTABLISHED, CLOSE_WAIT):
             return
         while self._try_send_one():

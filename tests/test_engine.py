@@ -10,12 +10,14 @@ from repro.apps.engine import (
     CompletionStats,
     TRACE_COLUMNS,
     TraceFlow,
+    WALL_SUMMARY_FIELDS,
     WorkloadEngine,
     average_fabric_rate_bps,
     load_trace,
     pair_weights,
     parse_host_address,
     size_bin,
+    strip_wall_fields,
     write_trace,
 )
 from repro.experiments.config import (
@@ -228,16 +230,33 @@ class TestEngineRuns:
     def test_seeded_determinism(self):
         first = self.run_once(workload=dict(max_flows=100, matrix="all-to-all"))
         second = self.run_once(workload=dict(max_flows=100, matrix="all-to-all"))
-        encode = lambda r: json.dumps(r.workload_summary, sort_keys=True)
+        # Wall-clock fields are host-dependent by design; everything
+        # else must be byte-identical.
+        encode = lambda r: json.dumps(
+            strip_wall_fields(r.workload_summary), sort_keys=True
+        )
         assert encode(first) == encode(second)
+
+    def test_summary_reports_wall_clock_flow_rate(self):
+        result = self.run_once(workload=dict(max_flows=50))
+        summary = result.workload_summary
+        for key in WALL_SUMMARY_FIELDS:
+            assert key in summary
+        assert summary["engine_wall_s"] > 0
+        assert summary["engine_flows_per_sec"] == pytest.approx(
+            summary["completed"] / summary["engine_wall_s"]
+        )
+        assert not set(strip_wall_fields(summary)) & set(WALL_SUMMARY_FIELDS)
 
     def test_reservoir_never_perturbs_traffic(self):
         # Enabling per-flow records must not change a single packet:
         # the reservoir draws from its own RNG substream.
         bare = self.run_once(workload=dict(max_flows=100))
         recorded = self.run_once(workload=dict(max_flows=100, record_cap=32))
-        assert json.dumps(bare.workload_summary, sort_keys=True) == json.dumps(
-            recorded.workload_summary, sort_keys=True
+        assert json.dumps(
+            strip_wall_fields(bare.workload_summary), sort_keys=True
+        ) == json.dumps(
+            strip_wall_fields(recorded.workload_summary), sort_keys=True
         )
 
     def test_matrices_and_variants_run(self):
